@@ -1,0 +1,59 @@
+// Command gemstone is the database server daemon: it opens (or bootstraps)
+// a database and serves the host ↔ GemStone network link, accepting blocks
+// of OPAL source from clients (paper §6).
+//
+// Usage:
+//
+//	gemstone -db ./mydb -listen :7833
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+
+	"repro/gemstone"
+	"repro/internal/executor"
+	"repro/internal/wire"
+)
+
+func main() {
+	dbDir := flag.String("db", "gemstone.db", "database directory")
+	listen := flag.String("listen", "127.0.0.1:7833", "listen address")
+	trackSize := flag.Int("track", 8192, "track size in bytes")
+	replicas := flag.Int("replicas", 1, "track replicas")
+	sysPassword := flag.String("syspass", "swordfish", "SystemUser password (used at bootstrap)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dbDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "gemstone: %v\n", err)
+		os.Exit(1)
+	}
+	db, err := gemstone.Open(*dbDir, gemstone.Options{
+		TrackSize:      *trackSize,
+		Replicas:       *replicas,
+		SystemPassword: *sysPassword,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gemstone: open: %v\n", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gemstone: listen: %v\n", err)
+		os.Exit(1)
+	}
+	srv := wire.Serve(ln, executor.New(db))
+	fmt.Printf("gemstone: serving %s on %s (last committed time %v)\n",
+		*dbDir, srv.Addr(), db.Core().TxnManager().LastCommitted())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\ngemstone: shutting down")
+	srv.Close()
+}

@@ -1,0 +1,58 @@
+// Command gsbench regenerates the paper's figure, worked examples, and the
+// benchmark series behind every performance claim (see DESIGN.md's
+// experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	gsbench -list
+//	gsbench -exp fig1
+//	gsbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments")
+	exp := flag.String("exp", "", "run one experiment by id")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+	case *exp != "":
+		e, ok := experiments.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gsbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: %v\n", err)
+			os.Exit(1)
+		}
+	case *all:
+		failed := 0
+		for _, e := range experiments.All() {
+			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+			if err := e.Run(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "gsbench: %s: %v\n", e.ID, err)
+				failed++
+			}
+			fmt.Println()
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,156 @@
+// Command opal is the host-side interactive client: a REPL that sends
+// blocks of OPAL source to a GemStone server (or an embedded database) and
+// prints results — the "user interface programs on host machines" of §6.
+//
+// Usage:
+//
+//	opal -connect 127.0.0.1:7833 -user SystemUser -password swordfish
+//	opal -db ./mydb          (embedded, no server)
+//
+// Enter OPAL statements; an empty line executes the buffered block.
+// Commands: \commit, \abort, \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/gemstone"
+	"repro/internal/wire"
+)
+
+// session abstracts the remote and embedded back ends.
+type session interface {
+	Execute(src string) (result, output string, err error)
+	Commit() (uint64, error)
+	Abort() error
+}
+
+type embedded struct{ s *gemstone.Session }
+
+func (e embedded) Execute(src string) (string, string, error) {
+	r, err := e.s.Execute(src)
+	return r.Printed, r.Output, err
+}
+func (e embedded) Commit() (uint64, error) {
+	t, err := e.s.Commit()
+	return uint64(t), err
+}
+func (e embedded) Abort() error { e.s.Abort(); return nil }
+
+type remote struct{ r *wire.RemoteSession }
+
+func (r remote) Execute(src string) (string, string, error) { return r.r.Execute(src) }
+func (r remote) Commit() (uint64, error)                    { return r.r.Commit() }
+func (r remote) Abort() error                               { return r.r.Abort() }
+
+func main() {
+	connect := flag.String("connect", "", "server address (remote mode)")
+	dbDir := flag.String("db", "", "database directory (embedded mode)")
+	user := flag.String("user", gemstone.SystemUser, "user name")
+	password := flag.String("password", "swordfish", "password")
+	execSrc := flag.String("e", "", "execute one block and exit")
+	flag.Parse()
+
+	var sess session
+	switch {
+	case *connect != "":
+		c, err := wire.Dial(*connect)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		rs, err := c.Login(*user, *password)
+		if err != nil {
+			fatal(err)
+		}
+		sess = remote{rs}
+	case *dbDir != "":
+		if err := os.MkdirAll(*dbDir, 0o755); err != nil {
+			fatal(err)
+		}
+		db, err := gemstone.Open(*dbDir, gemstone.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer db.Close()
+		s, err := db.Login(*user, *password)
+		if err != nil {
+			fatal(err)
+		}
+		sess = embedded{s}
+	default:
+		fmt.Fprintln(os.Stderr, "opal: need -connect or -db")
+		os.Exit(2)
+	}
+
+	if *execSrc != "" {
+		run(sess, *execSrc)
+		return
+	}
+
+	fmt.Println("OPAL — blocks end with an empty line; \\commit \\abort \\quit")
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var block []string
+	for {
+		if len(block) == 0 {
+			fmt.Print("opal> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+		if !in.Scan() {
+			return
+		}
+		line := in.Text()
+		switch strings.TrimSpace(line) {
+		case "\\quit":
+			return
+		case "\\commit":
+			t, err := sess.Commit()
+			if err != nil {
+				fmt.Printf("commit failed: %v\n", err)
+			} else {
+				fmt.Printf("committed at t%d\n", t)
+			}
+			continue
+		case "\\abort":
+			if err := sess.Abort(); err != nil {
+				fmt.Printf("abort: %v\n", err)
+			} else {
+				fmt.Println("aborted")
+			}
+			continue
+		case "":
+			if len(block) > 0 {
+				run(sess, strings.Join(block, "\n"))
+				block = block[:0]
+			}
+			continue
+		}
+		block = append(block, line)
+	}
+}
+
+func run(sess session, src string) {
+	result, output, err := sess.Execute(src)
+	if output != "" {
+		fmt.Print(output)
+		if !strings.HasSuffix(output, "\n") {
+			fmt.Println()
+		}
+	}
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	fmt.Println(result)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "opal: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of Copeland & Maier,
+// "Making Smalltalk a Database System" (SIGMOD 1984) — the GemStone object
+// database and its OPAL language.
+//
+// The public API is in package repro/gemstone; the paper's experiment
+// harness is cmd/gsbench; bench_test.go in this directory holds the
+// testing.B series behind each claim (C1..C10 in DESIGN.md).
+package repro

@@ -1,0 +1,88 @@
+// Quickstart: open a database, define a class in OPAL, create and commit
+// objects, navigate with path expressions, and run a declarative query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/gemstone"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "gs-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := gemstone.Open(dir, gemstone.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	s, err := db.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Define a class with instance variables and methods — schema and
+	// behaviour in one language (no impedance mismatch, paper §2.F).
+	s.MustRun(`Object subclass: 'Employee' instVarNames: #('name' 'salary' 'dept')`)
+	s.MustRun(`Employee compile: 'name: aName salary: aSalary name := aName. salary := aSalary'`)
+	s.MustRun(`Employee compile: 'raise: amount salary := salary + amount. ^salary'`)
+
+	// Create employees and anchor them at World so they persist.
+	s.MustRun(`| emps e |
+		emps := Set new.
+		World at: #Employees put: emps.
+		e := Employee new. e name: 'Ellen Burns' salary: 24650. emps add: e.
+		e := Employee new. e name: 'Robert Peters' salary: 24000. emps add: e.
+		e := Employee new. e name: 'Grace Hopper' salary: 31000. emps add: e`)
+	t, err := s.Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed at transaction time %v\n", t)
+
+	// Navigate with a path expression.
+	out := s.MustRun(`(Employees detect: [:e | e!name = 'Ellen Burns']) ! salary`)
+	fmt.Println("Ellen's salary:", out)
+
+	// Send a message that changes state, and commit the change.
+	s.MustRun(`(Employees detect: [:e | e!name = 'Ellen Burns']) raise: 1000`)
+	if _, err := s.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after raise:   ", s.MustRun(`(Employees detect: [:e | e!name = 'Ellen Burns']) ! salary`))
+
+	// Declarative set-calculus query with an index.
+	if err := s.CreateIndex("World!Employees", []string{"salary"}); err != nil {
+		log.Fatal(err)
+	}
+	rows, err := s.Query(`{E: e} where (e in World!Employees) and e!salary >= 25000`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d employees earn >= 25000:\n", len(rows))
+	for _, r := range rows {
+		name, _ := s.Path("e!name", map[string]gemstone.Value{"e": r["E"]})
+		p, _ := s.Print(name)
+		fmt.Println("  -", p)
+	}
+
+	// The same query as an OPAL expression — declarative statements embedded
+	// in the procedural language, capturing the local variable floor.
+	fmt.Println("embedded calculus:  ",
+		s.MustRun(`| floor | floor := 25000.
+			({ {E: e} where (e in World!Employees) and e!salary >= floor }
+				collect: [:r | (r at: #E) ! name]) printString`))
+
+	// Time travel: the salary before the raise is still there.
+	if err := s.SetTimeDial(t); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("at time", t, "Ellen earned", s.MustRun(`(Employees detect: [:e | e!name = 'Ellen Burns']) ! salary`))
+}

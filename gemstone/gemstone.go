@@ -1,0 +1,275 @@
+// Package gemstone is the public API of the GemStone reproduction: an
+// object database with a Smalltalk-derived data language (OPAL), per-element
+// transaction-time history, path expressions, a declarative set calculus,
+// optimistic multi-user transactions and history-aware indexes — the system
+// described in Copeland & Maier, "Making Smalltalk a Database System"
+// (SIGMOD 1984).
+//
+// A database is opened (or bootstrapped) with Open; users connect with
+// Login, obtaining a Session that executes blocks of OPAL source, evaluates
+// path expressions, runs calculus queries, and controls transactions and
+// the time dial:
+//
+//	db, _ := gemstone.Open("mydb", gemstone.Options{})
+//	defer db.Close()
+//	s, _ := db.Login(gemstone.SystemUser, "swordfish")
+//	s.Run(`Object subclass: 'Employee' instVarNames: #('name' 'salary')`)
+//	s.Run(`| e | e := Employee new. e at: #name put: 'Ellen'. World at: #ellen put: e`)
+//	s.Commit()
+//	out, _ := s.Run("World!ellen!name") // "'Ellen'"
+package gemstone
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/auth"
+	"repro/internal/calculus"
+	"repro/internal/core"
+	"repro/internal/oop"
+	"repro/internal/opal"
+	"repro/internal/path"
+	"repro/internal/store"
+)
+
+// SystemUser is the bootstrap administrator account.
+const SystemUser = auth.SystemUser
+
+// Value is an object reference (an OOP): the unit of entity identity.
+type Value = oop.OOP
+
+// Time is a transaction time.
+type Time = oop.Time
+
+// Nil is the nil object.
+var Nil = oop.Nil
+
+// Now is the time-dial setting for the current state.
+var Now = oop.TimeNow
+
+// Options configures a database.
+type Options struct {
+	TrackSize      int    // bytes per track (default 8192)
+	Replicas       int    // replica files for each track (default 1)
+	CacheTracks    int    // in-memory track cache (default 256)
+	SystemPassword string // SystemUser password (default "swordfish")
+}
+
+// DB is an open database.
+type DB struct {
+	core *core.DB
+	opts Options
+}
+
+// Open opens or bootstraps a database in dir. On first open it installs the
+// OPAL kernel image (collection protocol, System and Transcript).
+func Open(dir string, opts Options) (*DB, error) {
+	if opts.SystemPassword == "" {
+		opts.SystemPassword = "swordfish"
+	}
+	cdb, err := core.Open(dir, core.Options{
+		Store: store.Options{
+			TrackSize:   opts.TrackSize,
+			Replicas:    opts.Replicas,
+			CacheTracks: opts.CacheTracks,
+		},
+		SystemPassword: opts.SystemPassword,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{core: cdb, opts: opts}
+	// Ensure the OPAL image exists (needs a system session once).
+	sys, err := cdb.NewSession(auth.SystemUser, opts.SystemPassword)
+	if err != nil {
+		cdb.Close()
+		return nil, err
+	}
+	if _, err := opal.NewInterp(sys); err != nil {
+		cdb.Close()
+		return nil, fmt.Errorf("gemstone: installing OPAL image: %w", err)
+	}
+	return db, nil
+}
+
+// Close releases the database.
+func (db *DB) Close() error { return db.core.Close() }
+
+// Core exposes the underlying Object Manager for advanced use (experiment
+// harnesses, statistics).
+func (db *DB) Core() *core.DB { return db.core }
+
+// CreateUser adds a user account (administrators only); convenience that
+// logs in as SystemUser.
+func (db *DB) CreateUser(name, password string) error {
+	s, err := db.core.NewSession(auth.SystemUser, db.opts.SystemPassword)
+	if err != nil {
+		return err
+	}
+	return s.CreateUser(name, password)
+}
+
+// Session is one user connection: an OPAL interpreter over a private object
+// space with optimistic transaction semantics and a time dial.
+//
+// A Session is not safe for concurrent use by multiple goroutines — it
+// models one user's workspace, exactly as the paper's per-user Executor
+// session does. Concurrency comes from opening multiple sessions against
+// the same DB; the Transaction Manager serializes their commits.
+type Session struct {
+	s  *core.Session
+	in *opal.Interp
+}
+
+// Login authenticates a user and starts a session.
+func (db *DB) Login(user, password string) (*Session, error) {
+	s, err := db.core.NewSession(user, password)
+	if err != nil {
+		return nil, err
+	}
+	in, err := opal.NewInterp(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s, in: in}, nil
+}
+
+// Result is the outcome of executing a block of OPAL source.
+type Result struct {
+	Value   Value  // the value of the last expression
+	Printed string // its printString
+	Output  string // Transcript output produced during execution
+}
+
+// Execute compiles and runs a block of OPAL source.
+func (se *Session) Execute(source string) (Result, error) {
+	v, err := se.in.Execute(source)
+	out := se.in.TakeOutput()
+	if err != nil {
+		return Result{Output: out}, err
+	}
+	p, perr := se.in.PrintString(v)
+	if perr != nil {
+		p = v.String()
+	}
+	return Result{Value: v, Printed: p, Output: out}, nil
+}
+
+// Run executes OPAL source and returns the result's printString.
+func (se *Session) Run(source string) (string, error) {
+	r, err := se.Execute(source)
+	if err != nil {
+		return "", err
+	}
+	return r.Printed, nil
+}
+
+// MustRun is Run for program setup code; it panics on error.
+func (se *Session) MustRun(source string) string {
+	out, err := se.Run(source)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Row is one query result row: target label -> value.
+type Row map[string]Value
+
+// Query parses, optimizes and executes a set-calculus query.
+func (se *Session) Query(src string) ([]Row, error) {
+	tuples, _, err := algebra.Run(se.s, src)
+	if err != nil {
+		return nil, err
+	}
+	return rowsOf(tuples), nil
+}
+
+// QueryNaive executes a query with the unoptimized calculus-order plan
+// (for comparisons).
+func (se *Session) QueryNaive(src string) ([]Row, error) {
+	tuples, _, err := algebra.RunNaive(se.s, src)
+	if err != nil {
+		return nil, err
+	}
+	return rowsOf(tuples), nil
+}
+
+func rowsOf(tuples []algebra.Tuple) []Row {
+	rows := make([]Row, len(tuples))
+	for i, t := range tuples {
+		r := make(Row, len(t.Labels))
+		for j, l := range t.Labels {
+			r[l] = t.Values[j]
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// Explain returns the optimized query plan as text.
+func (se *Session) Explain(src string) (string, error) {
+	q, err := calculus.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	p, err := algebra.Optimize(q, se.s)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// Path evaluates a path expression (X!a!b@T!c) rooted at a global or a
+// binding in env (may be nil).
+func (se *Session) Path(expr string, env map[string]Value) (Value, error) {
+	return path.EvalString(se.s, expr, path.GlobalsEnv{Session: se.s, Locals: env})
+}
+
+// PathAssign assigns value at the end of a path expression.
+func (se *Session) PathAssign(expr string, value Value, env map[string]Value) error {
+	return path.AssignString(se.s, expr, path.GlobalsEnv{Session: se.s, Locals: env}, value)
+}
+
+// Print renders any value as OPAL's printString.
+func (se *Session) Print(v Value) (string, error) { return se.in.PrintString(v) }
+
+// Commit validates and durably applies the transaction, returning the
+// assigned transaction time. On conflict the workspace has been discarded
+// and a fresh transaction begun.
+func (se *Session) Commit() (Time, error) { return se.s.Commit() }
+
+// Abort discards pending changes.
+func (se *Session) Abort() { se.s.Abort() }
+
+// SetTimeDial points reads at a past database state; pass Now to return to
+// the present.
+func (se *Session) SetTimeDial(t Time) error { return se.s.SetTimeDial(t) }
+
+// SafeTime is the most recent state no running transaction can change.
+func (se *Session) SafeTime() Time { return se.s.SafeTime() }
+
+// CreateIndex builds a history-aware directory on a set (named by a path
+// expression) keyed by the element-name path.
+func (se *Session) CreateIndex(setExpr string, keyPath []string) error {
+	set, err := se.Path(setExpr, nil)
+	if err != nil {
+		return err
+	}
+	return se.s.CreateIndex(set, keyPath)
+}
+
+// Core exposes the underlying session.
+func (se *Session) Core() *core.Session { return se.s }
+
+// Interp exposes the OPAL interpreter.
+func (se *Session) Interp() *opal.Interp { return se.in }
+
+// HistoryEntry is one committed association of an element's history.
+type HistoryEntry = core.HistoryEntry
+
+// History returns the committed (time, value) associations of an object's
+// element, oldest first — the paper's per-element history as data.
+func (se *Session) History(obj Value, element string) ([]HistoryEntry, error) {
+	return se.s.History(obj, se.s.Symbol(element))
+}

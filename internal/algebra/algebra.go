@@ -1,0 +1,297 @@
+// Package algebra implements the set algebra and the calculus→algebra
+// translation algorithm (§3, §5.1: "We have developed a set algebra, and an
+// algorithm to translate a set-calculus expression to a set-algebra
+// expression"). The algebra is an iterator tree over variable bindings:
+// dependent scans (nested loops over possibly variable-dependent sources),
+// directory-backed index scans, selections and a final projection.
+//
+// The optimizer performs the access planning the paper says a declarative
+// syntax enables (§5.2): selection pushdown, directory (index) selection,
+// and range reordering by estimated cardinality.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/calculus"
+	"repro/internal/core"
+	"repro/internal/directory"
+	"repro/internal/oop"
+)
+
+// Tuple is one query result row.
+type Tuple struct {
+	Labels []string
+	Values []oop.OOP
+}
+
+// Get returns the value under a label.
+func (t Tuple) Get(label string) (oop.OOP, bool) {
+	for i, l := range t.Labels {
+		if l == label {
+			return t.Values[i], true
+		}
+	}
+	return oop.Invalid, false
+}
+
+// Stats counts work done during execution, for the experiment harness.
+type Stats struct {
+	MembersScanned int // bindings produced by sequential scans
+	IndexProbes    int // directory lookups / range scans
+	PredEvals      int // selection predicate evaluations
+}
+
+type execCtx struct {
+	s     *core.Session
+	stats *Stats
+}
+
+// Node is a push-based algebra operator.
+type Node interface {
+	exec(ctx *execCtx, in calculus.Binding, emit func(calculus.Binding) error) error
+	describe(indent int, b *strings.Builder)
+}
+
+// Explain renders the plan tree.
+func Explain(n Node) string {
+	var b strings.Builder
+	n.describe(0, &b)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func pad(indent int, b *strings.Builder) {
+	for i := 0; i < indent; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// --- Scan: sequential (possibly dependent) iteration over a set ---
+
+type scanNode struct {
+	input  Node // nil = start of pipeline
+	v      string
+	source calculus.Expr
+}
+
+func (n *scanNode) describe(indent int, b *strings.Builder) {
+	pad(indent, b)
+	fmt.Fprintf(b, "scan %s in %s\n", n.v, n.source)
+	if n.input != nil {
+		n.input.describe(indent+1, b)
+	}
+}
+
+func (n *scanNode) exec(ctx *execCtx, in calculus.Binding, emit func(calculus.Binding) error) error {
+	body := func(b calculus.Binding) error {
+		src, err := calculus.Eval(ctx.s, n.source, b)
+		if err != nil {
+			return err
+		}
+		if src.Kind == calculus.VNil {
+			return nil // empty range
+		}
+		if src.Kind != calculus.VObj && src.Kind != calculus.VStr {
+			return fmt.Errorf("algebra: range source %s is not a set", n.source)
+		}
+		members, err := ctx.s.Members(src.O)
+		if err != nil {
+			return err
+		}
+		for _, m := range members {
+			ctx.stats.MembersScanned++
+			nb := b.Clone()
+			nb[n.v] = m
+			if err := emit(nb); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if n.input == nil {
+		return body(in)
+	}
+	return n.input.exec(ctx, in, body)
+}
+
+// --- IndexScan: directory-backed associative access ---
+
+type indexOp uint8
+
+const (
+	ixEq indexOp = iota
+	ixLt
+	ixLe
+	ixGt
+	ixGe
+)
+
+type indexScanNode struct {
+	input Node
+	v     string
+	set   oop.OOP
+	path  []string
+	op    indexOp
+	key   calculus.Expr // evaluated per input binding
+}
+
+func (n *indexScanNode) describe(indent int, b *strings.Builder) {
+	pad(indent, b)
+	ops := map[indexOp]string{ixEq: "=", ixLt: "<", ixLe: "<=", ixGt: ">", ixGe: ">="}
+	fmt.Fprintf(b, "index-scan %s in %v by %s %s %s\n", n.v, n.set, strings.Join(n.path, "!"), ops[n.op], n.key)
+	if n.input != nil {
+		n.input.describe(indent+1, b)
+	}
+}
+
+func (n *indexScanNode) exec(ctx *execCtx, in calculus.Binding, emit func(calculus.Binding) error) error {
+	body := func(b calculus.Binding) error {
+		kv, err := calculus.Eval(ctx.s, n.key, b)
+		if err != nil {
+			return err
+		}
+		key, ok := valueToKey(kv)
+		if !ok {
+			return fmt.Errorf("algebra: %s does not evaluate to an indexable key", n.key)
+		}
+		ctx.stats.IndexProbes++
+		var members []oop.OOP
+		switch n.op {
+		case ixEq:
+			members, _ = ctx.s.IndexLookup(n.set, n.path, key)
+		case ixLt:
+			members, _ = ctx.s.IndexRange(n.set, n.path, nil, &key, true, false)
+		case ixLe:
+			members, _ = ctx.s.IndexRange(n.set, n.path, nil, &key, true, true)
+		case ixGt:
+			members, _ = ctx.s.IndexRange(n.set, n.path, &key, nil, false, true)
+		case ixGe:
+			members, _ = ctx.s.IndexRange(n.set, n.path, &key, nil, true, true)
+		}
+		for _, m := range members {
+			nb := b.Clone()
+			nb[n.v] = m
+			if err := emit(nb); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if n.input == nil {
+		return body(in)
+	}
+	return n.input.exec(ctx, in, body)
+}
+
+func valueToKey(v calculus.Value) (directory.Key, bool) {
+	switch v.Kind {
+	case calculus.VNil:
+		return directory.NilKey(), true
+	case calculus.VBool:
+		return directory.BoolKey(v.B), true
+	case calculus.VNum:
+		return directory.NumberKey(v.N), true
+	case calculus.VStr:
+		return directory.StringKey(v.S), true
+	case calculus.VChar:
+		return directory.CharKey([]rune(v.S)[0]), true
+	case calculus.VObj:
+		return directory.OOPKey(v.O), true
+	}
+	return directory.Key{}, false
+}
+
+// --- Select ---
+
+type selectNode struct {
+	input Node
+	pred  calculus.Expr
+}
+
+func (n *selectNode) describe(indent int, b *strings.Builder) {
+	pad(indent, b)
+	fmt.Fprintf(b, "select %s\n", n.pred)
+	if n.input != nil {
+		n.input.describe(indent+1, b)
+	}
+}
+
+func (n *selectNode) exec(ctx *execCtx, in calculus.Binding, emit func(calculus.Binding) error) error {
+	body := func(b calculus.Binding) error {
+		ctx.stats.PredEvals++
+		v, err := calculus.Eval(ctx.s, n.pred, b)
+		if err != nil {
+			return err
+		}
+		if calculus.Truthy(v) {
+			return emit(b)
+		}
+		return nil
+	}
+	if n.input == nil {
+		return body(in)
+	}
+	return n.input.exec(ctx, in, body)
+}
+
+// --- Project ---
+
+type projectNode struct {
+	input  Node
+	fields []calculus.TargetField
+}
+
+func (n *projectNode) describe(indent int, b *strings.Builder) {
+	pad(indent, b)
+	parts := make([]string, len(n.fields))
+	for i, f := range n.fields {
+		parts[i] = f.Label + ": " + f.Var
+	}
+	fmt.Fprintf(b, "project {%s}\n", strings.Join(parts, ", "))
+	if n.input != nil {
+		n.input.describe(indent+1, b)
+	}
+}
+
+func (n *projectNode) exec(ctx *execCtx, in calculus.Binding, emit func(calculus.Binding) error) error {
+	return n.input.exec(ctx, in, emit)
+}
+
+// Plan is an executable algebra expression.
+type Plan struct {
+	root   *projectNode
+	fields []calculus.TargetField
+}
+
+// Explain renders the plan.
+func (p *Plan) Explain() string { return Explain(p.root) }
+
+// Exec runs the plan in a session, returning result tuples and statistics.
+func (p *Plan) Exec(s *core.Session) ([]Tuple, Stats, error) {
+	return p.ExecWith(s, calculus.Binding{})
+}
+
+// ExecWith runs the plan with an initial binding — the mechanism behind
+// OPAL's embedded calculus expressions, whose "procedural parts" are the
+// enclosing method's variables (§5.4).
+func (p *Plan) ExecWith(s *core.Session, initial calculus.Binding) ([]Tuple, Stats, error) {
+	ctx := &execCtx{s: s, stats: &Stats{}}
+	var out []Tuple
+	labels := make([]string, len(p.fields))
+	for i, f := range p.fields {
+		labels[i] = f.Label
+	}
+	err := p.root.exec(ctx, initial, func(b calculus.Binding) error {
+		vals := make([]oop.OOP, len(p.fields))
+		for i, f := range p.fields {
+			vals[i] = b[f.Var]
+		}
+		out = append(out, Tuple{Labels: labels, Values: vals})
+		return nil
+	})
+	if err != nil {
+		return nil, *ctx.stats, err
+	}
+	return out, *ctx.stats, nil
+}

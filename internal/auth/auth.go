@@ -1,0 +1,298 @@
+// Package auth implements the Object Manager's authorization duties
+// (paper §6): users, segments and per-segment privileges. Every object
+// belongs to one segment; a session acts for one user; fetches require read
+// privilege on the object's segment and stores require write privilege.
+// Segment 0 is the world-readable system segment holding kernel classes.
+package auth
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/object"
+)
+
+// Privilege is the access level a user holds on a segment.
+type Privilege uint8
+
+const (
+	None Privilege = iota
+	Read
+	Write
+)
+
+func (p Privilege) String() string {
+	switch p {
+	case None:
+		return "none"
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	}
+	return fmt.Sprintf("privilege(%d)", uint8(p))
+}
+
+// ErrDenied reports an authorization failure.
+var ErrDenied = errors.New("auth: access denied")
+
+// ErrNoUser reports an unknown user or bad password.
+var ErrNoUser = errors.New("auth: unknown user or bad password")
+
+// SystemSegment holds kernel classes and globals; world-readable.
+const SystemSegment object.SegmentID = 0
+
+// SystemUser is the bootstrap administrator.
+const SystemUser = "SystemUser"
+
+type segment struct {
+	owner string
+	world Privilege
+	users map[string]Privilege
+}
+
+type user struct {
+	passHash [32]byte
+	admin    bool
+	home     object.SegmentID // default segment for objects the user creates
+}
+
+// Authorizer is the in-memory authorization state. It is itself stored in
+// the database by the core package (as objects in the system segment) and
+// rebuilt on open; this type is the enforcement engine.
+type Authorizer struct {
+	mu       sync.RWMutex
+	users    map[string]*user
+	segments map[object.SegmentID]*segment
+	nextSeg  object.SegmentID
+}
+
+// New creates an Authorizer with the system segment and the SystemUser
+// administrator (with the given password).
+func New(systemPassword string) *Authorizer {
+	a := &Authorizer{
+		users:    make(map[string]*user),
+		segments: make(map[object.SegmentID]*segment),
+		nextSeg:  1,
+	}
+	a.users[SystemUser] = &user{passHash: sha256.Sum256([]byte(systemPassword)), admin: true, home: SystemSegment}
+	a.segments[SystemSegment] = &segment{owner: SystemUser, world: Read, users: map[string]Privilege{}}
+	return a
+}
+
+// Authenticate verifies a name/password pair.
+func (a *Authorizer) Authenticate(name, password string) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	u, ok := a.users[name]
+	if !ok {
+		return ErrNoUser
+	}
+	h := sha256.Sum256([]byte(password))
+	if subtle.ConstantTimeCompare(h[:], u.passHash[:]) != 1 {
+		return ErrNoUser
+	}
+	return nil
+}
+
+// CreateUser adds a user; only admins may call it (enforced by caller
+// passing the acting user).
+func (a *Authorizer) CreateUser(actor, name, password string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	actorU, ok := a.users[actor]
+	if !ok || !actorU.admin {
+		return fmt.Errorf("%w: %s cannot create users", ErrDenied, actor)
+	}
+	if _, dup := a.users[name]; dup {
+		return fmt.Errorf("auth: user %s already exists", name)
+	}
+	seg := a.nextSeg
+	a.nextSeg++
+	a.users[name] = &user{passHash: sha256.Sum256([]byte(password)), home: seg}
+	a.segments[seg] = &segment{owner: name, world: None, users: map[string]Privilege{}}
+	return nil
+}
+
+// CreateSegment adds a segment owned by actor, returning its id.
+func (a *Authorizer) CreateSegment(actor string, world Privilege) (object.SegmentID, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.users[actor]; !ok {
+		return 0, fmt.Errorf("%w: unknown user %s", ErrDenied, actor)
+	}
+	seg := a.nextSeg
+	a.nextSeg++
+	a.segments[seg] = &segment{owner: actor, world: world, users: map[string]Privilege{}}
+	return seg, nil
+}
+
+// Grant sets a user's privilege on a segment. Only the segment owner or an
+// admin may grant.
+func (a *Authorizer) Grant(actor string, seg object.SegmentID, name string, p Privilege) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.segments[seg]
+	if !ok {
+		return fmt.Errorf("auth: no segment %d", seg)
+	}
+	actorU := a.users[actor]
+	if s.owner != actor && (actorU == nil || !actorU.admin) {
+		return fmt.Errorf("%w: %s does not own segment %d", ErrDenied, actor, seg)
+	}
+	if _, ok := a.users[name]; !ok {
+		return fmt.Errorf("auth: no user %s", name)
+	}
+	s.users[name] = p
+	return nil
+}
+
+// SetWorld sets a segment's world (default) privilege.
+func (a *Authorizer) SetWorld(actor string, seg object.SegmentID, p Privilege) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.segments[seg]
+	if !ok {
+		return fmt.Errorf("auth: no segment %d", seg)
+	}
+	actorU := a.users[actor]
+	if s.owner != actor && (actorU == nil || !actorU.admin) {
+		return fmt.Errorf("%w: %s does not own segment %d", ErrDenied, actor, seg)
+	}
+	s.world = p
+	return nil
+}
+
+// privilege computes the effective privilege of name on seg.
+func (a *Authorizer) privilege(name string, seg object.SegmentID) Privilege {
+	s, ok := a.segments[seg]
+	if !ok {
+		return None
+	}
+	u := a.users[name]
+	if u != nil && u.admin {
+		return Write
+	}
+	if s.owner == name {
+		return Write
+	}
+	if p, ok := s.users[name]; ok {
+		return p
+	}
+	return s.world
+}
+
+// CheckRead returns nil if name may read objects in seg.
+func (a *Authorizer) CheckRead(name string, seg object.SegmentID) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.privilege(name, seg) >= Read {
+		return nil
+	}
+	return fmt.Errorf("%w: %s cannot read segment %d", ErrDenied, name, seg)
+}
+
+// CheckWrite returns nil if name may write objects in seg.
+func (a *Authorizer) CheckWrite(name string, seg object.SegmentID) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.privilege(name, seg) >= Write {
+		return nil
+	}
+	return fmt.Errorf("%w: %s cannot write segment %d", ErrDenied, name, seg)
+}
+
+// HomeSegment returns the default segment for objects created by name.
+func (a *Authorizer) HomeSegment(name string) (object.SegmentID, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	u, ok := a.users[name]
+	if !ok {
+		return 0, ErrNoUser
+	}
+	return u.home, nil
+}
+
+// IsAdmin reports whether name is an administrator.
+func (a *Authorizer) IsAdmin(name string) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	u, ok := a.users[name]
+	return ok && u.admin
+}
+
+// Users returns the known user names (for administrative listing).
+func (a *Authorizer) Users() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, 0, len(a.users))
+	for n := range a.users {
+		out = append(out, n)
+	}
+	return out
+}
+
+// State is the exportable authorization state, used by the database to
+// persist users and segments as a versioned object.
+type State struct {
+	Users    []UserState
+	Segments []SegmentState
+	NextSeg  object.SegmentID
+}
+
+// UserState is one user's exportable record.
+type UserState struct {
+	Name  string
+	Hash  [32]byte
+	Admin bool
+	Home  object.SegmentID
+}
+
+// SegmentState is one segment's exportable record.
+type SegmentState struct {
+	ID    object.SegmentID
+	Owner string
+	World Privilege
+	ACL   map[string]Privilege
+}
+
+// Export snapshots the authorization state for persistence.
+func (a *Authorizer) Export() State {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	st := State{NextSeg: a.nextSeg}
+	for n, u := range a.users {
+		st.Users = append(st.Users, UserState{Name: n, Hash: u.passHash, Admin: u.admin, Home: u.home})
+	}
+	for id, s := range a.segments {
+		acl := make(map[string]Privilege, len(s.users))
+		for n, p := range s.users {
+			acl[n] = p
+		}
+		st.Segments = append(st.Segments, SegmentState{ID: id, Owner: s.owner, World: s.world, ACL: acl})
+	}
+	return st
+}
+
+// Restore rebuilds an Authorizer from exported state.
+func Restore(st State) *Authorizer {
+	a := &Authorizer{
+		users:    make(map[string]*user, len(st.Users)),
+		segments: make(map[object.SegmentID]*segment, len(st.Segments)),
+		nextSeg:  st.NextSeg,
+	}
+	for _, u := range st.Users {
+		a.users[u.Name] = &user{passHash: u.Hash, admin: u.Admin, home: u.Home}
+	}
+	for _, s := range st.Segments {
+		users := make(map[string]Privilege, len(s.ACL))
+		for n, p := range s.ACL {
+			users[n] = p
+		}
+		a.segments[s.ID] = &segment{owner: s.Owner, world: s.World, users: users}
+	}
+	return a
+}

@@ -1,0 +1,157 @@
+package auth
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAuthenticate(t *testing.T) {
+	a := New("swordfish")
+	if err := a.Authenticate(SystemUser, "swordfish"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Authenticate(SystemUser, "wrong"); !errors.Is(err, ErrNoUser) {
+		t.Errorf("bad password: %v", err)
+	}
+	if err := a.Authenticate("nobody", "x"); !errors.Is(err, ErrNoUser) {
+		t.Errorf("unknown user: %v", err)
+	}
+}
+
+func TestCreateUserAdminOnly(t *testing.T) {
+	a := New("pw")
+	if err := a.CreateUser(SystemUser, "alice", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Authenticate("alice", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CreateUser("alice", "bob", "b"); !errors.Is(err, ErrDenied) {
+		t.Errorf("non-admin created user: %v", err)
+	}
+	if err := a.CreateUser(SystemUser, "alice", "again"); err == nil {
+		t.Error("duplicate user accepted")
+	}
+}
+
+func TestSegmentPrivileges(t *testing.T) {
+	a := New("pw")
+	if err := a.CreateUser(SystemUser, "alice", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CreateUser(SystemUser, "bob", "b"); err != nil {
+		t.Fatal(err)
+	}
+	aliceSeg, err := a.HomeSegment("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Owner writes; stranger denied even read (world = None on home segs).
+	if err := a.CheckWrite("alice", aliceSeg); err != nil {
+		t.Errorf("owner write: %v", err)
+	}
+	if err := a.CheckRead("bob", aliceSeg); !errors.Is(err, ErrDenied) {
+		t.Errorf("stranger read: %v", err)
+	}
+	// Grant read.
+	if err := a.Grant("alice", aliceSeg, "bob", Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckRead("bob", aliceSeg); err != nil {
+		t.Errorf("granted read: %v", err)
+	}
+	if err := a.CheckWrite("bob", aliceSeg); !errors.Is(err, ErrDenied) {
+		t.Errorf("read grant must not allow write: %v", err)
+	}
+	// Only owner/admin may grant.
+	if err := a.Grant("bob", aliceSeg, "bob", Write); !errors.Is(err, ErrDenied) {
+		t.Errorf("non-owner grant: %v", err)
+	}
+	if err := a.Grant(SystemUser, aliceSeg, "bob", Write); err != nil {
+		t.Errorf("admin grant: %v", err)
+	}
+	if err := a.CheckWrite("bob", aliceSeg); err != nil {
+		t.Errorf("write after grant: %v", err)
+	}
+}
+
+func TestWorldPrivilege(t *testing.T) {
+	a := New("pw")
+	_ = a.CreateUser(SystemUser, "alice", "a")
+	_ = a.CreateUser(SystemUser, "bob", "b")
+	seg, err := a.CreateSegment("alice", Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckRead("bob", seg); err != nil {
+		t.Errorf("world-read segment: %v", err)
+	}
+	if err := a.CheckWrite("bob", seg); !errors.Is(err, ErrDenied) {
+		t.Error("world-read must not allow write")
+	}
+	if err := a.SetWorld("alice", seg, None); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CheckRead("bob", seg); !errors.Is(err, ErrDenied) {
+		t.Error("world revoked but read allowed")
+	}
+	if err := a.SetWorld("bob", seg, Write); !errors.Is(err, ErrDenied) {
+		t.Error("non-owner changed world privilege")
+	}
+}
+
+func TestSystemSegmentWorldReadable(t *testing.T) {
+	a := New("pw")
+	_ = a.CreateUser(SystemUser, "alice", "a")
+	if err := a.CheckRead("alice", SystemSegment); err != nil {
+		t.Errorf("kernel classes must be readable by all: %v", err)
+	}
+	if err := a.CheckWrite("alice", SystemSegment); !errors.Is(err, ErrDenied) {
+		t.Error("ordinary users must not write the system segment")
+	}
+	if err := a.CheckWrite(SystemUser, SystemSegment); err != nil {
+		t.Errorf("admin write to system segment: %v", err)
+	}
+}
+
+func TestExplicitGrantOverridesWorld(t *testing.T) {
+	a := New("pw")
+	_ = a.CreateUser(SystemUser, "alice", "a")
+	_ = a.CreateUser(SystemUser, "bob", "b")
+	seg, _ := a.CreateSegment("alice", Read)
+	// An explicit None grant revokes below world level.
+	_ = a.Grant("alice", seg, "bob", None)
+	if err := a.CheckRead("bob", seg); !errors.Is(err, ErrDenied) {
+		t.Error("explicit None grant should override world read")
+	}
+}
+
+func TestUnknownSegment(t *testing.T) {
+	a := New("pw")
+	if err := a.CheckRead(SystemUser, 999); err == nil {
+		t.Error("unknown segment readable")
+	}
+	if err := a.Grant(SystemUser, 999, SystemUser, Read); err == nil {
+		t.Error("grant on unknown segment accepted")
+	}
+}
+
+func TestUsersListing(t *testing.T) {
+	a := New("pw")
+	_ = a.CreateUser(SystemUser, "alice", "a")
+	us := a.Users()
+	if len(us) != 2 {
+		t.Errorf("Users() = %v", us)
+	}
+	if !a.IsAdmin(SystemUser) || a.IsAdmin("alice") {
+		t.Error("IsAdmin wrong")
+	}
+}
+
+func TestPrivilegeString(t *testing.T) {
+	for p, want := range map[Privilege]string{None: "none", Read: "read", Write: "write", Privilege(9): "privilege(9)"} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package calculus
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/oop"
+)
+
+// Binding maps calculus variables to values during evaluation.
+type Binding map[string]oop.OOP
+
+// Clone copies a binding (iterators extend bindings without aliasing).
+func (b Binding) Clone() Binding {
+	c := make(Binding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Value is a decoded runtime value: comparisons in the calculus are
+// structural for simple values (numbers by value, strings by contents) and
+// identity-based for other objects, matching §5.2's d!Name in e!Depts over
+// string sets.
+type Value struct {
+	Kind ValueKind
+	N    float64
+	S    string
+	B    bool
+	O    oop.OOP // original OOP (for identity and set iteration)
+}
+
+// ValueKind discriminates Value.
+type ValueKind uint8
+
+// Value kinds.
+const (
+	VNil ValueKind = iota
+	VBool
+	VNum
+	VStr
+	VChar
+	VObj
+)
+
+// Decode converts an OOP into a Value using the session to resolve boxed
+// floats and byte objects.
+func Decode(s *core.Session, o oop.OOP) Value {
+	switch {
+	case o == oop.Nil || o == oop.Invalid:
+		return Value{Kind: VNil, O: oop.Nil}
+	case o == oop.True:
+		return Value{Kind: VBool, B: true, O: o}
+	case o == oop.False:
+		return Value{Kind: VBool, B: false, O: o}
+	case o.IsSmallInt():
+		return Value{Kind: VNum, N: float64(o.Int()), O: o}
+	case o.IsCharacter():
+		return Value{Kind: VChar, S: string(o.Char()), O: o}
+	}
+	cls := s.ClassOf(o)
+	k := s.DB().Kernel()
+	switch cls {
+	case k.Float:
+		f, err := s.FloatValue(o)
+		if err == nil {
+			return Value{Kind: VNum, N: f, O: o}
+		}
+	case k.String, k.Symbol:
+		b, err := s.BytesOf(o)
+		if err == nil {
+			return Value{Kind: VStr, S: string(b), O: o}
+		}
+	}
+	return Value{Kind: VObj, O: o}
+}
+
+// Equal reports calculus equality of two values.
+func Equal(a, b Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case VNil:
+		return true
+	case VBool:
+		return a.B == b.B
+	case VNum:
+		return a.N == b.N
+	case VStr, VChar:
+		return a.S == b.S
+	default:
+		return a.O == b.O // entity identity
+	}
+}
+
+// Less orders two values; comparable kinds only.
+func Less(a, b Value) (bool, error) {
+	if a.Kind == VNum && b.Kind == VNum {
+		return a.N < b.N, nil
+	}
+	if (a.Kind == VStr || a.Kind == VChar) && (b.Kind == VStr || b.Kind == VChar) {
+		return a.S < b.S, nil
+	}
+	return false, fmt.Errorf("calculus: values %v and %v are not comparable", a.Kind, b.Kind)
+}
+
+// Truthy interprets a value as a predicate result.
+func Truthy(v Value) bool { return v.Kind == VBool && v.B }
+
+// Eval evaluates an expression under a binding. The session's globals serve
+// as fallback roots for unbound path variables (X!Employees with X a
+// global).
+func Eval(s *core.Session, e Expr, b Binding) (Value, error) {
+	switch n := e.(type) {
+	case Num:
+		return Value{Kind: VNum, N: n.V}, nil
+	case Str:
+		return Value{Kind: VStr, S: n.V}, nil
+	case Bool:
+		return Value{Kind: VBool, B: n.V}, nil
+	case Nil:
+		return Value{Kind: VNil, O: oop.Nil}, nil
+	case *Path:
+		o, err := EvalPath(s, n, b)
+		if err != nil {
+			return Value{}, err
+		}
+		return Decode(s, o), nil
+	case *Not:
+		v, err := Eval(s, n.E, b)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: VBool, B: !Truthy(v)}, nil
+	case *Binary:
+		return evalBinary(s, n, b)
+	}
+	return Value{}, fmt.Errorf("calculus: unknown expression %T", e)
+}
+
+// EvalPath resolves a path expression to an OOP under a binding.
+func EvalPath(s *core.Session, p *Path, b Binding) (oop.OOP, error) {
+	cur, ok := b[p.Root]
+	if !ok {
+		if g, found := s.Global(p.Root); found {
+			cur = g
+		} else {
+			return oop.Invalid, fmt.Errorf("calculus: unbound variable %q", p.Root)
+		}
+	}
+	for _, st := range p.Steps {
+		if !cur.IsHeap() {
+			return oop.Invalid, fmt.Errorf("calculus: cannot traverse %q from a simple value in %s", st.Name, p)
+		}
+		var name oop.OOP
+		if st.IsIndex {
+			name = oop.MustInt(st.Index)
+		} else {
+			name = s.Symbol(st.Name)
+		}
+		var v oop.OOP
+		var err error
+		if st.HasAt {
+			v, _, err = s.FetchAt(cur, name, oop.Time(st.At))
+		} else {
+			v, _, err = s.Fetch(cur, name)
+		}
+		if err != nil {
+			return oop.Invalid, err
+		}
+		cur = v
+	}
+	return cur, nil
+}
+
+func evalBinary(s *core.Session, n *Binary, b Binding) (Value, error) {
+	// Short-circuit logical operators.
+	switch n.Op {
+	case OpAnd:
+		l, err := Eval(s, n.L, b)
+		if err != nil {
+			return Value{}, err
+		}
+		if !Truthy(l) {
+			return Value{Kind: VBool, B: false}, nil
+		}
+		r, err := Eval(s, n.R, b)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: VBool, B: Truthy(r)}, nil
+	case OpOr:
+		l, err := Eval(s, n.L, b)
+		if err != nil {
+			return Value{}, err
+		}
+		if Truthy(l) {
+			return Value{Kind: VBool, B: true}, nil
+		}
+		r, err := Eval(s, n.R, b)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: VBool, B: Truthy(r)}, nil
+	}
+	l, err := Eval(s, n.L, b)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := Eval(s, n.R, b)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.Op {
+	case OpAdd, OpSub, OpMul, OpDiv:
+		if l.Kind != VNum || r.Kind != VNum {
+			return Value{}, fmt.Errorf("calculus: arithmetic on non-numbers in %s", n)
+		}
+		var f float64
+		switch n.Op {
+		case OpAdd:
+			f = l.N + r.N
+		case OpSub:
+			f = l.N - r.N
+		case OpMul:
+			f = l.N * r.N
+		case OpDiv:
+			if r.N == 0 {
+				return Value{}, fmt.Errorf("calculus: division by zero in %s", n)
+			}
+			f = l.N / r.N
+		}
+		return Value{Kind: VNum, N: f}, nil
+	case OpEq:
+		return Value{Kind: VBool, B: Equal(l, r)}, nil
+	case OpNe:
+		return Value{Kind: VBool, B: !Equal(l, r)}, nil
+	case OpLt, OpLe, OpGt, OpGe:
+		lt, err := Less(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		gt, err := Less(r, l)
+		if err != nil {
+			return Value{}, err
+		}
+		var res bool
+		switch n.Op {
+		case OpLt:
+			res = lt
+		case OpLe:
+			res = !gt
+		case OpGt:
+			res = gt
+		case OpGe:
+			res = !lt
+		}
+		return Value{Kind: VBool, B: res}, nil
+	case OpIn:
+		return evalIn(s, l, r)
+	}
+	return Value{}, fmt.Errorf("calculus: unsupported operator %s", n.Op)
+}
+
+// evalIn tests structural membership of l in the set r.
+func evalIn(s *core.Session, l, r Value) (Value, error) {
+	if r.Kind != VObj && r.Kind != VStr {
+		return Value{}, fmt.Errorf("calculus: right side of 'in' is not a set")
+	}
+	members, err := s.Members(r.O)
+	if err != nil {
+		return Value{}, err
+	}
+	for _, m := range members {
+		if Equal(l, Decode(s, m)) {
+			return Value{Kind: VBool, B: true}, nil
+		}
+	}
+	return Value{Kind: VBool, B: false}, nil
+}

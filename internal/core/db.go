@@ -1,0 +1,266 @@
+// Package core is the paper's primary contribution assembled: the GemStone
+// Object Manager. It ties the track store, the optimistic Transaction
+// Manager, the Directory Manager and authorization together under a
+// session-based interface with per-element object history, a time dial and
+// entity identity.
+//
+// Each session has "its own Object Manager with a private object space"
+// (paper §6): a copy-on-write workspace layered over the shared committed
+// store. Reads are served from the workspace first and otherwise from the
+// committed object's history *at the session's snapshot time* — the
+// temporal model doubles as the concurrency snapshot, the synergy the paper
+// credits to Reed ("storing transaction time is useful for synchronizing
+// concurrent transactions", §5.3.1).
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"repro/internal/auth"
+	"repro/internal/object"
+	"repro/internal/oop"
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+// Options configures a database.
+type Options struct {
+	Store          store.Options
+	SystemPassword string // password for SystemUser; default "swordfish"
+}
+
+// Kernel holds the OOPs of the classes the Object Manager itself needs.
+// They are created at bootstrap and re-resolved from the globals on open.
+type Kernel struct {
+	Object, Class, UndefinedObject                oop.OOP
+	Boolean, TrueClass, FalseClass                oop.OOP
+	Magnitude, Character, Number                  oop.OOP
+	SmallInteger, Float                           oop.OOP
+	Collection, String, Symbol                    oop.OOP
+	Array, OrderedCollection, Set, Bag            oop.OOP
+	Dictionary, Association                       oop.OOP
+	Block, CompiledMethod, SystemDictionary, View oop.OOP
+}
+
+// Well-known element-name symbols used by the Object Manager itself.
+type wellKnown struct {
+	name, superclass, instVarNames, format, methods oop.OOP
+	classComment                                    oop.OOP
+	key, value                                      oop.OOP
+	aliasCounter                                    oop.OOP
+	globals, symbols, directories, authState        oop.OOP
+}
+
+// DB is an open GemStone database.
+type DB struct {
+	st   *store.Store
+	txm  *txn.Manager
+	auth *auth.Authorizer
+
+	mu        sync.RWMutex // guards cache, symbol maps, dirs
+	cache     map[uint64]*object.Object
+	symByName map[string]oop.OOP
+	symByOOP  map[oop.OOP]string
+	newSyms   []oop.OOP // interned but not yet in the durable registry
+
+	serialMu   sync.Mutex
+	nextSerial uint64
+
+	sysRoot oop.OOP          // the SystemRoot object referenced by the superblock
+	globals oop.OOP          // SystemDictionary of named globals (classes, World)
+	pubSeg  object.SegmentID // the published (world-writable) segment
+	symReg  oop.OOP          // durable symbol registry (indexed object)
+	kernel  Kernel
+	wk      wellKnown
+	dirs    []*maintained // maintained directories
+}
+
+// Open opens or bootstraps the database under dir.
+func Open(dir string, opts Options) (*DB, error) {
+	if opts.SystemPassword == "" {
+		opts.SystemPassword = "swordfish"
+	}
+	st, err := store.Open(dir, opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	meta := st.Meta()
+	db := &DB{
+		st:         st,
+		txm:        txn.NewManager(meta.LastTime),
+		cache:      make(map[uint64]*object.Object),
+		symByName:  make(map[string]oop.OOP),
+		symByOOP:   make(map[oop.OOP]string),
+		nextSerial: meta.NextSerial,
+	}
+	if meta.Root == oop.Invalid {
+		if err := db.bootstrap(opts.SystemPassword); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("core: bootstrap: %w", err)
+		}
+		return db, nil
+	}
+	if err := db.reload(); err != nil {
+		st.Close()
+		return nil, fmt.Errorf("core: reload: %w", err)
+	}
+	return db, nil
+}
+
+// Close releases the database.
+func (db *DB) Close() error { return db.st.Close() }
+
+// Kernel returns the kernel class OOPs.
+func (db *DB) Kernel() Kernel { return db.kernel }
+
+// Store exposes the underlying track store (statistics, damage injection).
+func (db *DB) Store() *store.Store { return db.st }
+
+// TxnManager exposes the transaction manager (statistics).
+func (db *DB) TxnManager() *txn.Manager { return db.txm }
+
+// Auth exposes the authorization engine.
+func (db *DB) Auth() *auth.Authorizer { return db.auth }
+
+// allocSerial hands out a fresh object serial.
+func (db *DB) allocSerial() uint64 {
+	db.serialMu.Lock()
+	defer db.serialMu.Unlock()
+	s := db.nextSerial
+	db.nextSerial++
+	return s
+}
+
+func (db *DB) serialHighWater() uint64 {
+	db.serialMu.Lock()
+	defer db.serialMu.Unlock()
+	return db.nextSerial
+}
+
+// loadCommitted returns the committed version of an object, via the shared
+// cache. The returned object is shared: callers must not mutate it.
+func (db *DB) loadCommitted(o oop.OOP) (*object.Object, error) {
+	db.mu.RLock()
+	ob, ok := db.cache[o.Serial()]
+	db.mu.RUnlock()
+	if ok {
+		return ob, nil
+	}
+	ob, err := db.st.Load(o)
+	if err != nil {
+		// Interned-but-not-yet-flushed symbols are readable immediately;
+		// synthesize the object the next commit will write.
+		db.mu.Lock()
+		if name, isSym := db.symByOOP[o]; isSym {
+			sym := object.New(o, db.kernel.Symbol, auth.SystemSegment, object.FormatBytes)
+			if serr := sym.SetBytes(0, []byte(name)); serr == nil {
+				db.cache[o.Serial()] = sym
+				db.mu.Unlock()
+				return sym, nil
+			}
+		}
+		db.mu.Unlock()
+		return nil, err
+	}
+	db.mu.Lock()
+	if cached, ok := db.cache[o.Serial()]; ok {
+		ob = cached // another loader won
+	} else {
+		db.cache[o.Serial()] = ob
+	}
+	db.mu.Unlock()
+	return ob, nil
+}
+
+// --- Symbols ---
+
+// SymbolFor interns a symbol, creating its durable object on first use.
+// Symbols are immutable and shared across sessions and transactions; new
+// ones are appended to the durable registry by the next commit (or Flush).
+func (db *DB) SymbolFor(name string) oop.OOP {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.symbolLocked(name)
+}
+
+func (db *DB) symbolLocked(name string) oop.OOP {
+	if o, ok := db.symByName[name]; ok {
+		return o
+	}
+	db.serialMu.Lock()
+	serial := db.nextSerial
+	db.nextSerial++
+	db.serialMu.Unlock()
+	o := oop.FromSerial(serial)
+	db.symByName[name] = o
+	db.symByOOP[o] = name
+	db.newSyms = append(db.newSyms, o)
+	return o
+}
+
+// SymbolName resolves a symbol OOP to its string.
+func (db *DB) SymbolName(o oop.OOP) (string, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.symByOOP[o]
+	return s, ok
+}
+
+// takePendingSymbols drains the not-yet-durable symbols as objects to add
+// to the next commit batch, plus the updated registry object. Called with
+// db.mu held by the committing session (via the Linker).
+func (db *DB) takePendingSymbolsLocked() []*object.Object {
+	if len(db.newSyms) == 0 {
+		return nil
+	}
+	var out []*object.Object
+	reg, ok := db.cache[db.symReg.Serial()]
+	if !ok {
+		loaded, err := db.st.Load(db.symReg)
+		if err != nil {
+			panic(fmt.Sprintf("core: symbol registry unloadable: %v", err))
+		}
+		reg = loaded
+		db.cache[db.symReg.Serial()] = reg
+	}
+	reg = reg.Clone()
+	n := reg.Len()
+	for i, symOOP := range db.newSyms {
+		name := db.symByOOP[symOOP]
+		symObj := object.New(symOOP, db.kernel.Symbol, auth.SystemSegment, object.FormatBytes)
+		// Symbols are timeless: their payload exists "from the beginning".
+		if err := symObj.SetBytes(0, []byte(name)); err != nil {
+			panic(err)
+		}
+		out = append(out, symObj)
+		idx, _ := oop.FromInt(int64(n + i + 1))
+		if err := reg.Store(idx, 0, symOOP); err != nil {
+			panic(err)
+		}
+	}
+	out = append(out, reg)
+	db.newSyms = nil
+	return out
+}
+
+// --- Persistence of auth and directory definitions ---
+
+type dirDefGob struct {
+	Set  uint64
+	Path []uint64 // symbol serials
+}
+
+func gobEncode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("core: gob encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func gobDecode(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}

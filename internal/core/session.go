@@ -1,0 +1,726 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/auth"
+	"repro/internal/object"
+	"repro/internal/oop"
+	"repro/internal/store"
+	"repro/internal/txn"
+)
+
+// ErrReadOnlyDial reports a write attempted while the time dial is set to a
+// past state.
+var ErrReadOnlyDial = errors.New("core: time dial set to a past state; writes forbidden")
+
+// ErrNotAnObject reports an operation on an immediate value that needs a
+// heap object.
+var ErrNotAnObject = errors.New("core: not a heap object")
+
+// Session is one user's connection to the database: a private object space
+// over the shared committed store, with optimistic transaction semantics
+// and a time dial for historical reads (paper §5.4, §6).
+type Session struct {
+	db      *DB
+	user    string
+	homeSeg object.SegmentID
+	tx      txn.Txn
+	dial    oop.Time // TimeNow means "current state"
+
+	ws     map[uint64]*object.Object // persistent objects with pending writes
+	reads  map[oop.OOP]struct{}
+	writes map[oop.OOP]struct{}
+
+	// transients are session-private objects not yet attached to any
+	// persistent object. They are never validated, never committed, and
+	// simply discarded with the session — "an entire session workspace can
+	// be discarded at the end of a session" (paper §6), which is how OPAL
+	// temporaries avoid both garbage collection and database growth. A
+	// transient is promoted into the workspace (with everything it
+	// references) the moment it is stored into a persistent object.
+	transients map[uint64]*object.Object
+	// promoted tracks transients promoted during the current transaction,
+	// so an abort can demote them instead of losing them.
+	promoted map[uint64]*object.Object
+}
+
+// NewSession authenticates a user and begins a transaction.
+func (db *DB) NewSession(user, password string) (*Session, error) {
+	if err := db.auth.Authenticate(user, password); err != nil {
+		return nil, err
+	}
+	home, err := db.auth.HomeSegment(user)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{db: db, user: user, homeSeg: home, dial: oop.TimeNow,
+		transients: make(map[uint64]*object.Object)}
+	s.begin()
+	return s, nil
+}
+
+func (s *Session) begin() {
+	s.tx = s.db.txm.Begin()
+	s.ws = make(map[uint64]*object.Object)
+	s.reads = make(map[oop.OOP]struct{})
+	s.writes = make(map[oop.OOP]struct{})
+	s.promoted = make(map[uint64]*object.Object)
+}
+
+// User returns the session's user name.
+func (s *Session) User() string { return s.user }
+
+// DB returns the owning database.
+func (s *Session) DB() *DB { return s.db }
+
+// Snapshot returns the committed state this transaction reads.
+func (s *Session) Snapshot() oop.Time { return s.tx.Snapshot }
+
+// --- Time dial ---
+
+// SetTimeDial points subsequent reads at the database state at t
+// (paper §5.4: "Setting the time dial to time T is the same as appending
+// @T to each component in a path expression"). Pass oop.TimeNow to return
+// to the current state. Dialing past the last committed time is an error.
+func (s *Session) SetTimeDial(t oop.Time) error {
+	if !t.IsNow() && t > s.db.txm.LastCommitted() {
+		return fmt.Errorf("core: time %v is in the future (last committed %v)", t, s.db.txm.LastCommitted())
+	}
+	s.dial = t
+	return nil
+}
+
+// TimeDial returns the current dial setting.
+func (s *Session) TimeDial() oop.Time { return s.dial }
+
+// SafeTime returns the most recent state no running transaction can change.
+func (s *Session) SafeTime() oop.Time { return s.db.txm.SafeTime() }
+
+// readTime is the effective time for "current" reads.
+func (s *Session) readTime() oop.Time {
+	if s.dial.IsNow() {
+		return s.tx.Snapshot
+	}
+	return s.dial
+}
+
+// --- Object access ---
+
+// lookup returns the session's view of an object: its workspace copy if it
+// has one, else the shared committed version (not to be mutated).
+func (s *Session) lookup(o oop.OOP) (ob *object.Object, own bool, err error) {
+	if !o.IsHeap() {
+		return nil, false, fmt.Errorf("%w: %v", ErrNotAnObject, o)
+	}
+	if ob, ok := s.ws[o.Serial()]; ok {
+		return ob, true, nil
+	}
+	if ob, ok := s.transients[o.Serial()]; ok {
+		return ob, true, nil
+	}
+	ob, err = s.db.loadCommitted(o)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := s.db.auth.CheckRead(s.user, ob.Seg); err != nil {
+		return nil, false, err
+	}
+	return ob, false, nil
+}
+
+// Object returns the session's view of o for read-only inspection.
+func (s *Session) Object(o oop.OOP) (*object.Object, error) {
+	ob, _, err := s.lookup(o)
+	return ob, err
+}
+
+// recordRead notes a current-state read for optimistic validation. Reads of
+// explicitly dialed past states are immutable and need no validation.
+func (s *Session) recordRead(o oop.OOP) {
+	if s.dial.IsNow() {
+		s.reads[o] = struct{}{}
+	}
+}
+
+// fetchFrom reads the named element from a session view at time t,
+// honouring pending (uncommitted) writes in workspace copies.
+func fetchFrom(ob *object.Object, own bool, name oop.OOP, t oop.Time) (oop.OOP, bool) {
+	if own {
+		if e := ob.Element(name); e != nil {
+			if n := len(e.Hist); n > 0 && e.Hist[n-1].T == object.PendingTime {
+				return e.Hist[n-1].Value, true
+			}
+		}
+	}
+	return ob.FetchAt(name, t)
+}
+
+// Fetch reads the value of obj's element name in the session's current
+// view (snapshot plus the session's own pending writes, or the dialed past
+// state). A missing element reads as (nil, false, nil).
+func (s *Session) Fetch(obj, name oop.OOP) (oop.OOP, bool, error) {
+	ob, own, err := s.lookup(obj)
+	if err != nil {
+		return oop.Invalid, false, err
+	}
+	s.recordRead(obj)
+	v, ok := fetchFrom(ob, own, name, s.readTime())
+	return v, ok, nil
+}
+
+// FetchAt reads the element in the state at an explicit time t, ignoring
+// the dial (the @T path operator).
+func (s *Session) FetchAt(obj, name oop.OOP, t oop.Time) (oop.OOP, bool, error) {
+	ob, own, err := s.lookup(obj)
+	if err != nil {
+		return oop.Invalid, false, err
+	}
+	if t.IsNow() {
+		s.recordRead(obj)
+		t = s.readTime()
+	}
+	v, ok := fetchFrom(ob, own, name, t)
+	return v, ok, nil
+}
+
+// modifiable returns a workspace copy of obj, cloning the committed version
+// on first write.
+func (s *Session) modifiable(obj oop.OOP) (*object.Object, error) {
+	// Session-private transients may be built and mutated even under a
+	// dialed session (they are not part of any database state); only
+	// persistent objects are frozen by the time dial.
+	if ob, ok := s.transients[obj.Serial()]; ok {
+		return ob, nil
+	}
+	if !s.dial.IsNow() {
+		return nil, ErrReadOnlyDial
+	}
+	if ob, ok := s.ws[obj.Serial()]; ok {
+		return ob, nil
+	}
+	ob, err := s.db.loadCommitted(obj)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.db.auth.CheckWrite(s.user, ob.Seg); err != nil {
+		return nil, err
+	}
+	clone := ob.Clone()
+	s.ws[obj.Serial()] = clone
+	s.reads[obj] = struct{}{}
+	s.writes[obj] = struct{}{}
+	return clone, nil
+}
+
+// promote attaches a transient object (and, transitively, every transient
+// it references) to the persistent workspace so it will be committed.
+func (s *Session) promote(v oop.OOP) {
+	if !v.IsHeap() {
+		return
+	}
+	ob, ok := s.transients[v.Serial()]
+	if !ok {
+		return
+	}
+	delete(s.transients, v.Serial())
+	s.ws[v.Serial()] = ob
+	s.writes[v] = struct{}{}
+	s.promoted[v.Serial()] = ob
+	for _, el := range ob.Elements() {
+		for _, a := range el.Hist {
+			s.promote(a.Value)
+		}
+	}
+}
+
+// isPersistent reports whether obj is already in the durable graph (or the
+// dirty workspace), as opposed to a session transient.
+func (s *Session) isPersistent(obj oop.OOP) bool {
+	if _, transient := s.transients[obj.Serial()]; transient {
+		return false
+	}
+	return true
+}
+
+// Store records value as the new value of obj's element name. Storing a
+// transient into a persistent object promotes the transient.
+func (s *Session) Store(obj, name, value oop.OOP) error {
+	ob, err := s.modifiable(obj)
+	if err != nil {
+		return err
+	}
+	if err := ob.Store(name, object.PendingTime, value); err != nil {
+		return err
+	}
+	if s.isPersistent(obj) {
+		s.promote(value)
+	}
+	return nil
+}
+
+// Remove records nil for the element — the model's replacement for
+// deletion; the history remains.
+func (s *Session) Remove(obj, name oop.OOP) error {
+	return s.Store(obj, name, oop.Nil)
+}
+
+// HistoryEntry is one committed association of an element's history.
+type HistoryEntry struct {
+	T     oop.Time
+	Value oop.OOP
+}
+
+// History returns the committed history of obj's element name, oldest
+// first: the paper's association table (§6) as data. Pending (uncommitted)
+// writes are excluded; times above the session's dial are included (history
+// inspection is explicitly temporal).
+func (s *Session) History(obj, name oop.OOP) ([]HistoryEntry, error) {
+	ob, _, err := s.lookup(obj)
+	if err != nil {
+		return nil, err
+	}
+	e := ob.Element(name)
+	if e == nil {
+		return nil, nil
+	}
+	out := make([]HistoryEntry, 0, len(e.Hist))
+	for _, a := range e.Hist {
+		if a.T >= object.PendingTime {
+			continue
+		}
+		out = append(out, HistoryEntry{T: a.T, Value: a.Value})
+	}
+	return out, nil
+}
+
+// ElementNames lists the names bound to non-nil values in the session's
+// current view of obj, in insertion order.
+func (s *Session) ElementNames(obj oop.OOP) ([]oop.OOP, error) {
+	ob, own, err := s.lookup(obj)
+	if err != nil {
+		return nil, err
+	}
+	s.recordRead(obj)
+	t := s.readTime()
+	var names []oop.OOP
+	for _, el := range ob.Elements() {
+		if v, ok := fetchFrom(ob, own, el.Name, t); ok && v != oop.Nil {
+			names = append(names, el.Name)
+		}
+	}
+	return names, nil
+}
+
+// ClassOf returns the class of any value, immediates included.
+func (s *Session) ClassOf(o oop.OOP) oop.OOP {
+	k := s.db.kernel
+	switch {
+	case o == oop.Nil:
+		return k.UndefinedObject
+	case o == oop.True:
+		return k.TrueClass
+	case o == oop.False:
+		return k.FalseClass
+	case o.IsSmallInt():
+		return k.SmallInteger
+	case o.IsCharacter():
+		return k.Character
+	}
+	ob, _, err := s.lookup(o)
+	if err != nil {
+		return k.Object
+	}
+	return ob.Class
+}
+
+// --- Creation ---
+
+// NewObject instantiates class, giving the instance a fresh permanent
+// identity in the user's home segment.
+func (s *Session) NewObject(class oop.OOP) (oop.OOP, error) {
+	return s.NewObjectIn(class, s.homeSeg)
+}
+
+// NewObjectIn instantiates class in an explicit segment.
+func (s *Session) NewObjectIn(class oop.OOP, seg object.SegmentID) (oop.OOP, error) {
+	if err := s.db.auth.CheckWrite(s.user, seg); err != nil {
+		return oop.Invalid, err
+	}
+	format := object.FormatNamed
+	if f, ok, err := s.Fetch(class, s.db.wk.format); err == nil && ok && f.IsSmallInt() {
+		format = object.Format(f.Int())
+	}
+	o := oop.FromSerial(s.db.allocSerial())
+	ob := object.New(o, class, seg, format)
+	s.transients[o.Serial()] = ob
+	return o, nil
+}
+
+// NewSharedObject instantiates class in the published, world-writable
+// segment — the home of World — so every user can read and update it.
+func (s *Session) NewSharedObject(class oop.OOP) (oop.OOP, error) {
+	return s.NewObjectIn(class, s.db.pubSeg)
+}
+
+// HomeSegment returns the session user's default segment.
+func (s *Session) HomeSegment() object.SegmentID { return s.homeSeg }
+
+// NewString creates a String object with the given contents.
+func (s *Session) NewString(str string) (oop.OOP, error) {
+	o, err := s.NewObjectIn(s.db.kernel.String, s.homeSeg)
+	if err != nil {
+		return oop.Invalid, err
+	}
+	if err := s.transients[o.Serial()].SetBytes(object.PendingTime, []byte(str)); err != nil {
+		return oop.Invalid, err
+	}
+	return o, nil
+}
+
+// SetBytes replaces the byte payload of a byte object.
+func (s *Session) SetBytes(obj oop.OOP, b []byte) error {
+	ob, err := s.modifiable(obj)
+	if err != nil {
+		return err
+	}
+	return ob.SetBytes(object.PendingTime, append([]byte(nil), b...))
+}
+
+// BytesOf returns the byte payload in the session's current view.
+func (s *Session) BytesOf(obj oop.OOP) ([]byte, error) {
+	ob, own, err := s.lookup(obj)
+	if err != nil {
+		return nil, err
+	}
+	s.recordRead(obj)
+	if own {
+		if vs := ob.ByteVersions(); len(vs) > 0 && vs[len(vs)-1].T == object.PendingTime {
+			return vs[len(vs)-1].Bytes, nil
+		}
+	}
+	b, _ := ob.BytesAt(s.readTime())
+	return b, nil
+}
+
+// BytesAt returns the payload in the state at an explicit time.
+func (s *Session) BytesAt(obj oop.OOP, t oop.Time) ([]byte, bool, error) {
+	ob, own, err := s.lookup(obj)
+	if err != nil {
+		return nil, false, err
+	}
+	if t.IsNow() {
+		s.recordRead(obj)
+		return mustBytes(ob, own, s.readTime())
+	}
+	b, ok := ob.BytesAt(t)
+	return b, ok, nil
+}
+
+func mustBytes(ob *object.Object, own bool, t oop.Time) ([]byte, bool, error) {
+	if own {
+		if vs := ob.ByteVersions(); len(vs) > 0 && vs[len(vs)-1].T == object.PendingTime {
+			return vs[len(vs)-1].Bytes, true, nil
+		}
+	}
+	b, ok := ob.BytesAt(t)
+	return b, ok, nil
+}
+
+// NewFloat creates a boxed Float.
+func (s *Session) NewFloat(f float64) (oop.OOP, error) {
+	o, err := s.NewObjectIn(s.db.kernel.Float, s.homeSeg)
+	if err != nil {
+		return oop.Invalid, err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+	if err := s.transients[o.Serial()].SetBytes(object.PendingTime, b[:]); err != nil {
+		return oop.Invalid, err
+	}
+	return o, nil
+}
+
+// FloatValue decodes a boxed Float.
+func (s *Session) FloatValue(obj oop.OOP) (float64, error) {
+	b, err := s.BytesOf(obj)
+	if err != nil {
+		return 0, err
+	}
+	if len(b) != 8 {
+		return 0, fmt.Errorf("core: %v is not a Float", obj)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}
+
+// Symbol interns a symbol.
+func (s *Session) Symbol(name string) oop.OOP { return s.db.SymbolFor(name) }
+
+// SymbolName resolves a symbol OOP.
+func (s *Session) SymbolName(o oop.OOP) (string, bool) { return s.db.SymbolName(o) }
+
+// Globals returns the system dictionary of named globals.
+func (s *Session) Globals() oop.OOP { return s.db.globals }
+
+// Global resolves a global by name: first the system globals dictionary
+// (class names, World, System), then elements of World itself — so data
+// anchored at World (the paper's path examples all start there) can serve
+// directly as path roots: after `World at: #X put: x`, the path
+// X!Departments!A16 resolves.
+func (s *Session) Global(name string) (oop.OOP, bool) {
+	sym := s.db.SymbolFor(name)
+	if v, ok, err := s.Fetch(s.db.globals, sym); err == nil && ok && v != oop.Nil {
+		return v, true
+	}
+	world, ok, err := s.Fetch(s.db.globals, s.db.SymbolFor("World"))
+	if err != nil || !ok || !world.IsHeap() {
+		return oop.Invalid, false
+	}
+	if v, ok, err := s.Fetch(world, sym); err == nil && ok && v != oop.Nil {
+		return v, true
+	}
+	return oop.Invalid, false
+}
+
+// SetGlobal binds a global name (administrators only; globals live in the
+// system segment).
+func (s *Session) SetGlobal(name string, value oop.OOP) error {
+	return s.Store(s.db.globals, s.db.SymbolFor(name), value)
+}
+
+// --- Transactions ---
+
+// Commit validates and atomically applies the session's pending writes,
+// returning the assigned transaction time. On conflict the workspace is
+// discarded, a fresh transaction begins, and the error wraps txn.ErrConflict.
+func (s *Session) Commit() (oop.Time, error) {
+	t, err := s.db.txm.Commit(s.tx, s.reads, s.writes, func(commit oop.Time) error {
+		return s.db.linkCommit(s.ws, commit)
+	})
+	if err != nil {
+		s.demotePromoted()
+		s.begin()
+		return 0, err
+	}
+	s.begin()
+	return t, nil
+}
+
+// CommitKernel applies the workspace at kernel time (time 0), so the
+// written objects are visible in every past state of the database. It is
+// reserved for bootstrap-style image installation (kernel classes and
+// methods) before the database serves concurrent sessions: it bypasses
+// optimistic validation and does not consume a transaction time.
+func (s *Session) CommitKernel() error {
+	for _, ob := range s.ws {
+		ob.RestampPending(0)
+	}
+	s.db.mu.Lock()
+	symObjs := s.db.takePendingSymbolsLocked()
+	s.db.mu.Unlock()
+	batch := make([]*object.Object, 0, len(s.ws)+len(symObjs))
+	for _, ob := range s.ws {
+		batch = append(batch, ob)
+	}
+	batch = append(batch, symObjs...)
+	if err := s.db.st.Apply(store.Commit{
+		Objects:    batch,
+		NextSerial: s.db.serialHighWater(),
+		Time:       s.db.txm.LastCommitted(),
+	}); err != nil {
+		return err
+	}
+	s.db.mu.Lock()
+	for _, ob := range batch {
+		s.db.cache[ob.OOP.Serial()] = ob
+	}
+	s.db.mu.Unlock()
+	s.db.txm.Abort(s.tx)
+	s.begin()
+	return nil
+}
+
+// Abort discards all pending changes and begins a fresh transaction.
+// Transients promoted during the aborted transaction return to the
+// transient space so references to them stay valid.
+func (s *Session) Abort() {
+	s.db.txm.Abort(s.tx)
+	s.demotePromoted()
+	s.begin()
+}
+
+func (s *Session) demotePromoted() {
+	for serial, ob := range s.promoted {
+		s.transients[serial] = ob
+	}
+}
+
+// linkCommit is the Linker (paper §6): it "incorporates updates made by a
+// transaction in the permanent database at commit time, calling for
+// restructuring of directories as needed". Runs under the transaction
+// manager's commit lock.
+func (db *DB) linkCommit(ws map[uint64]*object.Object, commit oop.Time) error {
+	for _, ob := range ws {
+		ob.RestampPending(commit)
+	}
+	// Directory maintenance before the durable write, so a failed store
+	// apply cannot leave directories ahead of the database: maintain after
+	// apply succeeds instead.
+	db.mu.Lock()
+	symObjs := db.takePendingSymbolsLocked()
+	db.mu.Unlock()
+
+	batch := make([]*object.Object, 0, len(ws)+len(symObjs))
+	for _, ob := range ws {
+		batch = append(batch, ob)
+	}
+	batch = append(batch, symObjs...)
+
+	if err := db.st.Apply(store.Commit{
+		Objects:    batch,
+		NextSerial: db.serialHighWater(),
+		Time:       commit,
+	}); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	for _, ob := range batch {
+		db.cache[ob.OOP.Serial()] = ob
+	}
+	// Directories see the post-commit state via the refreshed cache.
+	err := db.maintainDirectoriesLocked(ws, commit)
+	db.mu.Unlock()
+	return err
+}
+
+// --- Convenience for labeled sets ---
+
+// AddToSet binds member into set under a fresh system-generated alias
+// element name ("For sets without labels, arbitrary aliases are used as
+// element names", §5.1) and returns the alias symbol.
+func (s *Session) AddToSet(set, member oop.OOP) (oop.OOP, error) {
+	ob, err := s.modifiable(set)
+	if err != nil {
+		return oop.Invalid, err
+	}
+	// Per-set alias counter kept in a hidden element.
+	n := int64(0)
+	if v, ok := fetchFrom(ob, true, s.db.wk.aliasCounter, s.readTime()); ok && v.IsSmallInt() {
+		n = v.Int()
+	}
+	n++
+	if err := ob.Store(s.db.wk.aliasCounter, object.PendingTime, oop.MustInt(n)); err != nil {
+		return oop.Invalid, err
+	}
+	alias := s.db.SymbolFor(fmt.Sprintf("a%d.%d", set.Serial(), n))
+	if err := ob.Store(alias, object.PendingTime, member); err != nil {
+		return oop.Invalid, err
+	}
+	if s.isPersistent(set) {
+		s.promote(member)
+	}
+	return alias, nil
+}
+
+// IsAlias reports whether an element name is a system-generated alias
+// created by AddToSet (alias names have the form a<set>.<n>).
+func (s *Session) IsAlias(name oop.OOP) bool {
+	str, ok := s.db.SymbolName(name)
+	if !ok || len(str) < 4 || str[0] != 'a' {
+		return false
+	}
+	dot := false
+	for _, r := range str[1:] {
+		if r == '.' {
+			if dot {
+				return false
+			}
+			dot = true
+			continue
+		}
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return dot
+}
+
+// RemoveFromSet unbinds the member bound under the given element name.
+func (s *Session) RemoveFromSet(set, name oop.OOP) error {
+	return s.Remove(set, name)
+}
+
+// Members returns the values of all elements of set in the current view,
+// excluding the hidden alias counter.
+func (s *Session) Members(set oop.OOP) ([]oop.OOP, error) {
+	names, err := s.ElementNames(set)
+	if err != nil {
+		return nil, err
+	}
+	var out []oop.OOP
+	for _, n := range names {
+		if n == s.db.wk.aliasCounter {
+			continue
+		}
+		v, ok, err := s.Fetch(set, n)
+		if err != nil {
+			return nil, err
+		}
+		if ok && v != oop.Nil {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Archive moves committed objects to the simulated offline medium
+// ("A database administrator can explicitly move objects to other media",
+// §6). Administrators only. While the archive is attached the objects stay
+// readable; after DetachArchive they become "temporarily or permanently
+// inaccessible".
+func (s *Session) Archive(oops []oop.OOP) error {
+	if !s.db.auth.IsAdmin(s.user) {
+		return fmt.Errorf("%w: %s cannot archive", auth.ErrDenied, s.user)
+	}
+	return s.db.st.Archive(s.db.txm.LastCommitted(), oops)
+}
+
+// DetachArchive dismounts the offline medium (administrators only).
+func (s *Session) DetachArchive() error {
+	if !s.db.auth.IsAdmin(s.user) {
+		return fmt.Errorf("%w: %s cannot detach the archive", auth.ErrDenied, s.user)
+	}
+	s.db.st.DetachArchive()
+	return nil
+}
+
+// Authorize helpers: administrative operations that also persist the auth
+// state as a versioned object.
+
+// CreateUser adds a database user (admin only) and persists the change.
+func (s *Session) CreateUser(name, password string) error {
+	if err := s.db.auth.CreateUser(s.user, name, password); err != nil {
+		return err
+	}
+	return s.db.persistAuth()
+}
+
+// CreateSegment adds a segment owned by the session user.
+func (s *Session) CreateSegment(world auth.Privilege) (object.SegmentID, error) {
+	seg, err := s.db.auth.CreateSegment(s.user, world)
+	if err != nil {
+		return 0, err
+	}
+	return seg, s.db.persistAuth()
+}
+
+// Grant sets a user's privilege on a segment.
+func (s *Session) Grant(seg object.SegmentID, name string, p auth.Privilege) error {
+	if err := s.db.auth.Grant(s.user, seg, name, p); err != nil {
+		return err
+	}
+	return s.db.persistAuth()
+}

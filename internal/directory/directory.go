@@ -1,0 +1,65 @@
+package directory
+
+import (
+	"fmt"
+
+	"repro/internal/oop"
+)
+
+// Directory is one maintained index: it indexes the members of a set object
+// by the value reached from each member along a key path ("hints given in
+// OPAL for structuring directories", §6). Graph traversal — resolving the
+// path through possibly-nested elements — is the Linker's job in the core
+// package; Directory stores the structure and the valid-time intervals.
+type Directory struct {
+	Set  oop.OOP   // the indexed set
+	Path []oop.OOP // element-name symbols from member to key, length >= 1
+
+	ix *Index
+}
+
+// New creates an empty directory over set with the given key path.
+func New(set oop.OOP, path []oop.OOP) *Directory {
+	return &Directory{Set: set, Path: append([]oop.OOP(nil), path...), ix: NewIndex()}
+}
+
+// Index exposes the underlying B-tree.
+func (d *Directory) Index() *Index { return d.ix }
+
+// Enter opens an entry: member (bound into the set under element name) has
+// key k from time t onward.
+func (d *Directory) Enter(k Key, name, member oop.OOP, t oop.Time) {
+	d.ix.Insert(k, Entry{Name: name, Member: member, From: t, To: oop.TimeNow})
+}
+
+// Leave closes the open entry for (k, name, member) at time t.
+func (d *Directory) Leave(k Key, name, member oop.OOP, t oop.Time) error {
+	if !d.ix.Close(k, name, member, t) {
+		return fmt.Errorf("directory: no open entry for %v/%v under key", name, member)
+	}
+	return nil
+}
+
+// Move re-keys an entry: closes it under old and reopens under new at t.
+// Both states remain queryable — the member "appears along two branches of
+// the directory" across time, exactly the §6 behaviour.
+func (d *Directory) Move(old, new Key, name, member oop.OOP, t oop.Time) error {
+	if err := d.Leave(old, name, member, t); err != nil {
+		return err
+	}
+	d.Enter(new, name, member, t)
+	return nil
+}
+
+// Lookup returns entries with key k alive in the state at t.
+func (d *Directory) Lookup(k Key, t oop.Time) []Entry { return d.ix.Lookup(k, t) }
+
+// Range returns entries with keys in the given bounds alive at t.
+func (d *Directory) Range(lo, hi *Key, loInc, hiInc bool, t oop.Time) []Entry {
+	return d.ix.Range(lo, hi, loInc, hiInc, t)
+}
+
+// String describes the directory for diagnostics.
+func (d *Directory) String() string {
+	return fmt.Sprintf("directory(%v by %v, %d keys)", d.Set, d.Path, d.ix.Keys())
+}

@@ -1,0 +1,98 @@
+// Package directory implements the Directory Manager (paper §6): indexes
+// over set elements that support associative access. Directories "use
+// standard techniques modified to handle object histories": every index
+// entry carries a [validFrom, validTo) transaction-time interval, so a
+// lookup can be answered in any past state of the database — the same
+// object may legitimately "appear along two branches of the directory" when
+// its discriminating element changed over time.
+//
+// Because the data model replaces deletion with history, the B-tree needs
+// no delete operation at all: entries are closed (their validTo set), never
+// removed.
+package directory
+
+import (
+	"strings"
+
+	"repro/internal/oop"
+)
+
+// KeyKind ranks the kinds of values a directory can discriminate on.
+// Heterogeneous sets are the norm in the model ("the value associated with
+// a particular element name is not restricted to a single type", §5.2), so
+// keys of different kinds order by kind rank first.
+type KeyKind uint8
+
+const (
+	KindNil KeyKind = iota
+	KindBool
+	KindNumber // SmallIntegers and Floats share one numeric axis
+	KindChar
+	KindString // strings and symbols
+	KindOOP    // any other object: ordered by identity
+)
+
+// Key is a decoded, self-contained index key. Immediate values and byte
+// objects are decoded so comparisons need no object-manager access.
+type Key struct {
+	Kind KeyKind
+	I    int64   // KindBool (0/1), KindChar, KindOOP (serial)
+	F    float64 // KindNumber
+	S    string  // KindString
+}
+
+// NumberKey builds a numeric key.
+func NumberKey(f float64) Key { return Key{Kind: KindNumber, F: f} }
+
+// StringKey builds a string key.
+func StringKey(s string) Key { return Key{Kind: KindString, S: s} }
+
+// BoolKey builds a boolean key.
+func BoolKey(b bool) Key {
+	k := Key{Kind: KindBool}
+	if b {
+		k.I = 1
+	}
+	return k
+}
+
+// CharKey builds a character key.
+func CharKey(r rune) Key { return Key{Kind: KindChar, I: int64(r)} }
+
+// OOPKey builds an identity key for a non-decodable object.
+func OOPKey(o oop.OOP) Key { return Key{Kind: KindOOP, I: int64(o)} }
+
+// NilKey is the key for nil-valued discriminators.
+func NilKey() Key { return Key{Kind: KindNil} }
+
+// Compare orders keys: kind rank first, then value. It returns -1, 0 or 1.
+func Compare(a, b Key) int {
+	if a.Kind != b.Kind {
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.Kind {
+	case KindNil:
+		return 0
+	case KindNumber:
+		switch {
+		case a.F < b.F:
+			return -1
+		case a.F > b.F:
+			return 1
+		}
+		return 0
+	case KindString:
+		return strings.Compare(a.S, b.S)
+	default: // KindBool, KindChar, KindOOP
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	}
+}

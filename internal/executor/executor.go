@@ -1,0 +1,121 @@
+// Package executor implements the GemStone Executor (paper §6): it is
+// "responsible for controlling sessions in the GemStone system on behalf of
+// users on host machines", handling login, receiving blocks of OPAL source,
+// and returning results and error messages. It "maintains a Compiler and
+// Interpreter for each active user".
+package executor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/gemstone"
+	"repro/internal/oop"
+)
+
+// SessionID names one remote session.
+type SessionID uint64
+
+// ErrNoSession reports an unknown or closed session id.
+var ErrNoSession = errors.New("executor: no such session")
+
+// Executor multiplexes user sessions over one database.
+type Executor struct {
+	db *gemstone.DB
+
+	mu       sync.Mutex
+	sessions map[SessionID]*remote
+	nextID   SessionID
+}
+
+type remote struct {
+	mu sync.Mutex // one command at a time per session
+	se *gemstone.Session
+}
+
+// New creates an Executor over an open database.
+func New(db *gemstone.DB) *Executor {
+	return &Executor{db: db, sessions: make(map[SessionID]*remote), nextID: 1}
+}
+
+// Login authenticates a user and opens a session.
+func (e *Executor) Login(user, password string) (SessionID, error) {
+	se, err := e.db.Login(user, password)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.nextID
+	e.nextID++
+	e.sessions[id] = &remote{se: se}
+	return id, nil
+}
+
+func (e *Executor) session(id SessionID) (*remote, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSession, id)
+	}
+	return r, nil
+}
+
+// Execute runs a block of OPAL source in the session, returning the
+// printString of the result and any Transcript output.
+func (e *Executor) Execute(id SessionID, source string) (result, output string, err error) {
+	r, err := e.session(id)
+	if err != nil {
+		return "", "", err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res, err := r.se.Execute(source)
+	if err != nil {
+		return "", res.Output, err
+	}
+	return res.Printed, res.Output, nil
+}
+
+// Commit commits the session's transaction, returning the transaction time.
+func (e *Executor) Commit(id SessionID) (oop.Time, error) {
+	r, err := e.session(id)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.se.Commit()
+}
+
+// Abort discards the session's pending changes.
+func (e *Executor) Abort(id SessionID) error {
+	r, err := e.session(id)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.se.Abort()
+	return nil
+}
+
+// Logout closes a session.
+func (e *Executor) Logout(id SessionID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.sessions[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoSession, id)
+	}
+	delete(e.sessions, id)
+	return nil
+}
+
+// ActiveSessions returns the number of live sessions.
+func (e *Executor) ActiveSessions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sessions)
+}

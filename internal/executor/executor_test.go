@@ -1,0 +1,131 @@
+package executor
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/gemstone"
+)
+
+func newExec(t *testing.T) *Executor {
+	t.Helper()
+	db, err := gemstone.Open(t.TempDir(), gemstone.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return New(db)
+}
+
+func TestLoginExecuteLogout(t *testing.T) {
+	e := newExec(t)
+	id, err := e.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, output, err := e.Execute(id, "Transcript show: 'hi'. 6 * 7")
+	if err != nil || result != "42" || output != "hi" {
+		t.Errorf("execute = %q %q (%v)", result, output, err)
+	}
+	if e.ActiveSessions() != 1 {
+		t.Errorf("sessions = %d", e.ActiveSessions())
+	}
+	if err := e.Logout(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Execute(id, "1"); !errors.Is(err, ErrNoSession) {
+		t.Errorf("after logout: %v", err)
+	}
+	if err := e.Logout(id); !errors.Is(err, ErrNoSession) {
+		t.Errorf("double logout: %v", err)
+	}
+}
+
+func TestBadLogin(t *testing.T) {
+	e := newExec(t)
+	if _, err := e.Login("ghost", "x"); err == nil {
+		t.Error("bad login accepted")
+	}
+}
+
+func TestCommitAbort(t *testing.T) {
+	e := newExec(t)
+	id, _ := e.Login(gemstone.SystemUser, "swordfish")
+	if _, _, err := e.Execute(id, "World at: #x put: 5"); err != nil {
+		t.Fatal(err)
+	}
+	tm, err := e.Commit(id)
+	if err != nil || tm == 0 {
+		t.Fatalf("commit = %v (%v)", tm, err)
+	}
+	if _, _, err := e.Execute(id, "World at: #x put: 9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Abort(id); err != nil {
+		t.Fatal(err)
+	}
+	result, _, _ := e.Execute(id, "World!x")
+	if result != "5" {
+		t.Errorf("x = %s after abort", result)
+	}
+	// Commit/Abort on an unknown session.
+	if _, err := e.Commit(999); !errors.Is(err, ErrNoSession) {
+		t.Error("commit on missing session")
+	}
+	if err := e.Abort(999); !errors.Is(err, ErrNoSession) {
+		t.Error("abort on missing session")
+	}
+}
+
+func TestSessionsAreIsolated(t *testing.T) {
+	e := newExec(t)
+	a, _ := e.Login(gemstone.SystemUser, "swordfish")
+	b, _ := e.Login(gemstone.SystemUser, "swordfish")
+	// a's uncommitted write is invisible to b.
+	if _, _, err := e.Execute(a, "World at: #y put: 1"); err != nil {
+		t.Fatal(err)
+	}
+	result, _, _ := e.Execute(b, "World at: #y ifAbsent: [nil]")
+	if result != "nil" {
+		t.Errorf("b sees a's uncommitted write: %s", result)
+	}
+	if _, err := e.Commit(a); err != nil {
+		t.Fatal(err)
+	}
+	// b still reads its old snapshot until it refreshes.
+	if err := e.Abort(b); err != nil {
+		t.Fatal(err)
+	}
+	result, _, _ = e.Execute(b, "World!y")
+	if result != "1" {
+		t.Errorf("b after refresh: %s", result)
+	}
+}
+
+func TestConcurrentExecutes(t *testing.T) {
+	e := newExec(t)
+	const n = 4
+	ids := make([]SessionID, n)
+	for i := range ids {
+		id, err := e.Login(gemstone.SystemUser, "swordfish")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id SessionID) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if res, _, err := e.Execute(id, "3 + 4"); err != nil || res != "7" {
+					t.Errorf("execute: %q %v", res, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}

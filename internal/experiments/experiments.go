@@ -1,0 +1,136 @@
+// Package experiments regenerates every figure and worked example in the
+// paper and one benchmark series per performance claim (see DESIGN.md's
+// experiment index and EXPERIMENTS.md for recorded results). Each
+// experiment builds its own database in a temporary directory, prints the
+// same rows/series the paper reports, and self-checks against the paper's
+// stated answers where the paper states them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/gemstone"
+)
+
+// Experiment is one runnable reproduction target.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer) error
+}
+
+// All lists every experiment in DESIGN.md order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "Figure 1: a database with history", Fig1},
+		{"stdm", "§5.1 STDM database fragment and path expressions", ExSTDM},
+		{"calc", "§5.1 set-calculus query (employees vs managers)", ExCalc},
+		{"rel", "§5.2 relational encodings (relation/array/children)", ExRel},
+		{"c1", "C1: declarative optimization vs naive calculus order", C1},
+		{"c2", "C2: directory (index) vs sequential scan", C2},
+		{"c3", "C3: optimistic concurrency under contention", C3},
+		{"c4", "C4: temporal fetch cost vs history length", C4},
+		{"c5", "C5: append-only history vs update-in-place + GC", C5},
+		{"c6", "C6: commit-manager safe writes and crash recovery", C6},
+		{"c7", "C7: replication and damaged-track fallback", C7},
+		{"c8", "C8: beyond the ST80 limits (objects and sizes)", C8},
+		{"c9", "C9: entity identity vs relational logical pointers", C9},
+		{"c10", "C10: GemStone representation vs LOOM whole-object faulting", C10},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// tempDB opens a throwaway database.
+func tempDB(opts gemstone.Options) (*gemstone.DB, func(), error) {
+	dir, err := os.MkdirTemp("", "gsbench-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := gemstone.Open(dir, opts)
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	return db, func() {
+		db.Close()
+		os.RemoveAll(dir)
+	}, nil
+}
+
+// check prints a PASS/FAIL row and records failures.
+type checker struct {
+	w      io.Writer
+	failed int
+}
+
+func (c *checker) check(what string, ok bool, detail string) {
+	status := "PASS"
+	if !ok {
+		status = "FAIL"
+		c.failed++
+	}
+	if detail != "" {
+		fmt.Fprintf(c.w, "  [%s] %-58s %s\n", status, what, detail)
+	} else {
+		fmt.Fprintf(c.w, "  [%s] %s\n", status, what)
+	}
+}
+
+func (c *checker) result(id string) error {
+	if c.failed > 0 {
+		return fmt.Errorf("%s: %d checks failed", id, c.failed)
+	}
+	fmt.Fprintf(c.w, "  all checks passed\n")
+	return nil
+}
+
+// timeIt measures fn over iters runs and returns ns/op.
+func timeIt(iters int, fn func() error) (float64, error) {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+}
+
+// padClock drives the transaction counter to a target time using commits on
+// a disjoint clock object.
+func padClock(db *gemstone.DB, clockExpr string, until uint64) error {
+	for uint64(db.Core().TxnManager().LastCommitted()) < until-1 {
+		s, err := db.Login(gemstone.SystemUser, "swordfish")
+		if err != nil {
+			return err
+		}
+		if _, err := s.Run(clockExpr + " at: #tick put: " + fmt.Sprint(uint64(db.Core().TxnManager().LastCommitted()))); err != nil {
+			return err
+		}
+		if _, err := s.Commit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

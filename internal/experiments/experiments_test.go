@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The exact-reproduction experiments are fast and fully self-checked; run
+// them under `go test` so regressions in any layer surface here.
+func TestExactReproductions(t *testing.T) {
+	for _, id := range []string{"fig1", "stdm", "calc", "rel"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := Find(id)
+			if !ok {
+				t.Fatalf("experiment %s missing", id)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("%v\n%s", err, buf.String())
+			}
+			if strings.Contains(buf.String(), "FAIL") {
+				t.Errorf("output contains FAIL:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+// The fast claim experiments (those that finish in a few seconds at test
+// sizes) also run as tests; the heavyweight sweeps stay in gsbench.
+func TestFastClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claim experiments are not short")
+	}
+	for _, id := range []string{"c6", "c7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, _ := Find(id)
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("%v\n%s", err, buf.String())
+			}
+			if strings.Contains(buf.String(), "FAIL") {
+				t.Errorf("output contains FAIL:\n%s", buf.String())
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Errorf("experiments = %d, want 14", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) succeeded")
+	}
+}

@@ -1,0 +1,385 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/gemstone"
+	"repro/internal/relational"
+)
+
+// Fig1 reproduces Figure 1 ("A Database with History") and the §5.3.2
+// narrative exactly: the president change at time 8, Ayn's employment from
+// 2 to 8 (ended by a nil value), Milton's move from Seattle to Portland at
+// 8, and Ayn's move to San Diego at 11 — then evaluates the paper's four
+// path expressions and checks each against the stated answer.
+func Fig1(w io.Writer) error {
+	db, done, err := tempDB(gemstone.Options{})
+	if err != nil {
+		return err
+	}
+	defer done()
+	s, err := db.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		return err
+	}
+
+	// Setup commit (t=1): the object graph and a disjoint clock.
+	s.MustRun(`| acme emps clock |
+		acme := Dictionary new.
+		World at: 'Acme Corp' put: acme.
+		emps := Dictionary new.
+		acme at: 'employees' put: emps.
+		World at: '__fig1clock' put: Object new`)
+	if _, err := s.Commit(); err != nil {
+		return err
+	}
+	pad := func(until uint64) error { return padClock(db, "(World at: '__fig1clock')", until) }
+
+	// t=2: Ayn joins as employee 1821; both live in Seattle.
+	if err := pad(2); err != nil {
+		return err
+	}
+	s.MustRun(`| ayn milton emps |
+		ayn := Dictionary new. ayn at: 'name' put: 'Ayn Rand'. ayn at: 'city' put: 'Seattle'.
+		milton := Dictionary new. milton at: 'name' put: 'Milton Friedman'. milton at: 'city' put: 'Seattle'.
+		emps := World!'Acme Corp'!employees.
+		emps at: '1821' put: ayn.
+		emps at: '4810' put: milton`)
+	if t, err := s.Commit(); err != nil || uint64(t) != 2 {
+		return fmt.Errorf("fig1: employee commit at %v (%v), want t2", t, err)
+	}
+
+	// t=5: Ayn becomes president.
+	if err := pad(5); err != nil {
+		return err
+	}
+	s.MustRun(`(World at: 'Acme Corp') at: 'president' put: (World!'Acme Corp'!employees at: '1821')`)
+	if t, err := s.Commit(); err != nil || uint64(t) != 5 {
+		return fmt.Errorf("fig1: president commit at %v (%v), want t5", t, err)
+	}
+
+	// t=8: Milton becomes president and moves to Portland; Ayn leaves
+	// (recorded as a nil value — the model's replacement for deletion).
+	if err := pad(8); err != nil {
+		return err
+	}
+	s.MustRun(`| emps milton |
+		emps := World!'Acme Corp'!employees.
+		milton := emps at: '4810'.
+		(World at: 'Acme Corp') at: 'president' put: milton.
+		milton at: 'city' put: 'Portland'.
+		emps removeElement: '1821' asSymbol`)
+	if t, err := s.Commit(); err != nil || uint64(t) != 8 {
+		return fmt.Errorf("fig1: change commit at %v (%v), want t8", t, err)
+	}
+
+	// t=11: Ayn moves to San Diego (she kept the company car until then).
+	if err := pad(11); err != nil {
+		return err
+	}
+	s.MustRun(`(World!'Acme Corp'!president@7) at: 'city' put: 'San Diego'`)
+	if t, err := s.Commit(); err != nil || uint64(t) != 11 {
+		return fmt.Errorf("fig1: move commit at %v (%v), want t11", t, err)
+	}
+
+	fmt.Fprintln(w, "Figure 1: A Database with History — paper's path expressions")
+	c := &checker{w: w}
+	eval := func(expr string) string {
+		out, err := s.Run(expr)
+		if err != nil {
+			return "ERROR: " + err.Error()
+		}
+		return out
+	}
+	// The paper's four queries and their stated answers.
+	got := eval("World!'Acme Corp'!president!name")
+	c.check("World!'Acme Corp'!president  (current)", got == "'Milton Friedman'", got)
+	got = eval("World!'Acme Corp'!president@10!name")
+	c.check("World!'Acme Corp'!president@10  (the new president)", got == "'Milton Friedman'", got)
+	got = eval("World!'Acme Corp'!president@7!name")
+	c.check("World!'Acme Corp'!president@7  (the previous president)", got == "'Ayn Rand'", got)
+	got = eval("World!'Acme Corp'!president@7!city")
+	c.check("World!'Acme Corp'!president@7!city  (her CURRENT city)", got == "'San Diego'", got)
+
+	// The employment history encoded by the nil-removal.
+	got = eval("(World!'Acme Corp'!employees at: '1821' asSymbol atTime: 5) at: 'name'")
+	c.check("employees!1821@5 is Ayn (employee from 2 to 8)", got == "'Ayn Rand'", got)
+	got = eval("(World!'Acme Corp'!employees) at: '1821' asSymbol atTime: 9")
+	c.check("employees!1821@9 is nil (left at 8)", got == "nil", got)
+	// Milton's city history.
+	got = eval("World!'Acme Corp'!president!city@7")
+	c.check("Milton's city@7 was Seattle", got == "'Seattle'", got)
+	got = eval("World!'Acme Corp'!president!city")
+	c.check("Milton's city now is Portland", got == "'Portland'", got)
+
+	// Time dial equivalence (§5.4): dialing to 7 equals @7 everywhere.
+	s.MustRun("System timeDial: 7")
+	got = eval("World!'Acme Corp'!president!name")
+	c.check("time dial at 7: president is Ayn", got == "'Ayn Rand'", got)
+	s.MustRun("System timeDialNow")
+	return c.result("fig1")
+}
+
+// ExSTDM reproduces the §5.1 STDM database fragment and its two sample path
+// expressions: X!Departments!A16!Managers and X!Employees!E62!Name.
+func ExSTDM(w io.Writer) error {
+	db, done, err := tempDB(gemstone.Options{})
+	if err != nil {
+		return err
+	}
+	defer done()
+	s, err := db.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		return err
+	}
+	s.MustRun(`| x depts emps d e n |
+		x := Dictionary new. World at: #X put: x.
+		depts := Dictionary new. x at: 'Departments' put: depts.
+		emps := Dictionary new. x at: 'Employees' put: emps.
+		d := Dictionary new.
+		d at: 'Name' put: 'Sales'.
+		d at: 'Managers' put: (Set new add: 'Nathen'; add: 'Roberts'; yourself).
+		d at: 'Budget' put: 142000.
+		depts at: 'A12' put: d.
+		d := Dictionary new.
+		d at: 'Name' put: 'Research'.
+		d at: 'Managers' put: (Set new add: 'Carter'; yourself).
+		d at: 'Budget' put: 256500.
+		depts at: 'A16' put: d.
+		e := Dictionary new.
+		n := Dictionary new. n at: 'First' put: 'Ellen'. n at: 'Last' put: 'Burns'.
+		e at: 'Name' put: n. e at: 'Salary' put: 24650.
+		e at: 'Depts' put: (Set new add: 'Marketing'; yourself).
+		emps at: 'E62' put: e.
+		e := Dictionary new.
+		n := Dictionary new. n at: 'First' put: 'Robert'. n at: 'Last' put: 'Peters'.
+		e at: 'Name' put: n. e at: 'Salary' put: 24000.
+		e at: 'Depts' put: (Set new add: 'Sales'; add: 'Planning'; yourself).
+		e at: 'Phones' put: (Set new add: 3949; add: 3862; yourself).
+		emps at: 'E83' put: e`)
+	if _, err := s.Commit(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "§5.1 STDM database fragment — sample path expressions")
+	c := &checker{w: w}
+	got, err := s.Run("X!Departments!A16!Managers")
+	if err != nil {
+		return err
+	}
+	c.check("X!Departments!A16!Managers", strings.Contains(got, "'Carter'"), got)
+	got, err = s.Run("X!Employees!E62!Name")
+	if err != nil {
+		return err
+	}
+	c.check("X!Employees!E62!Name", strings.Contains(got, "'Ellen'") && strings.Contains(got, "'Burns'"), got)
+	got, _ = s.Run("X!Employees!E62!Name!First")
+	c.check("X!Employees!E62!Name!First", got == "'Ellen'", got)
+	got, _ = s.Run("X!Departments!A12!Budget")
+	c.check("X!Departments!A12!Budget", got == "142000", got)
+	// The array representation from §5.2: sets with numbers as names.
+	s.MustRun(`| a | a := Dictionary new. World at: #A put: a.
+		a at: 1 put: (Set new add: 'Anders'; add: 'Roberts'; yourself).
+		a at: 2 put: (Set new add: 'Roberts'; add: 'Ching'; yourself).
+		a at: 3 put: (Set new add: 'Albrecht'; add: 'Ching'; yourself)`)
+	got, _ = s.Run("A!2")
+	c.check("§5.2 array-as-set: A!2", strings.Contains(got, "'Ching'"), got)
+	return c.result("stdm")
+}
+
+// paperQuery is the §5.1 set-calculus example in ASCII syntax.
+const paperQuery = `{Emp: e, Mgr: m} where
+ (e in X!Employees) and
+ (d in X!Departments) [(m in d!Managers) and
+ (d!Name in e!Depts) and (e!Salary > 0.10 * d!Budget)]`
+
+// buildCalcDB loads the §5.1 fragment plus enough employees for the query
+// to select a verifiable answer. Returns the expected (employee, manager)
+// pairs.
+func buildCalcDB(s *gemstone.Session, extraEmployees int) (map[string]bool, error) {
+	s.MustRun(`| x depts d |
+		x := Dictionary new. World at: #X put: x.
+		depts := Dictionary new. x at: 'Departments' put: depts.
+		x at: 'Employees' put: Dictionary new.
+		d := Dictionary new. d at: 'Name' put: 'Sales'.
+		d at: 'Managers' put: (Set new add: 'Nathen'; add: 'Roberts'; yourself).
+		d at: 'Budget' put: 142000. depts at: 'A12' put: d.
+		d := Dictionary new. d at: 'Name' put: 'Research'.
+		d at: 'Managers' put: (Set new add: 'Carter'; yourself).
+		d at: 'Budget' put: 256500. depts at: 'A16' put: d`)
+	mkEmp := func(label, last string, salary int, dept string) {
+		s.MustRun(fmt.Sprintf(`| e n |
+			e := Dictionary new.
+			n := Dictionary new. n at: 'Last' put: '%s'. e at: 'Name' put: n.
+			e at: 'Salary' put: %d.
+			e at: 'Depts' put: (Set new add: '%s'; yourself).
+			X!Employees at: '%s' put: e`, last, salary, dept, label))
+	}
+	mkEmp("E62", "Burns", 24650, "Marketing")
+	mkEmp("E83", "Peters", 24000, "Sales")
+	mkEmp("E90", "Hopper", 15000, "Sales")
+	mkEmp("E91", "Kay", 30000, "Research")
+	mkEmp("E92", "Lovelace", 25000, "Research")
+	for i := 0; i < extraEmployees; i++ {
+		// Low-salary filler spread across both departments.
+		dept := "Sales"
+		if i%2 == 0 {
+			dept = "Research"
+		}
+		mkEmp(fmt.Sprintf("F%d", i), fmt.Sprintf("Filler%d", i), 1000+i%50, dept)
+	}
+	// Management grows with the company: the naive plan pays the manager
+	// fan-out on every (employee, department) pair, the optimized plan only
+	// on qualifying ones.
+	for i := 0; i < extraEmployees/4; i++ {
+		s.MustRun(fmt.Sprintf(`X!Departments!A12!Managers add: 'M%d'`, i))
+	}
+	if _, err := s.Commit(); err != nil {
+		return nil, err
+	}
+	// Qualifiers: E83 (24000 > 14200, Sales), E90 (15000 > 14200, Sales),
+	// E91 (30000 > 25650, Research).
+	return map[string]bool{
+		"Peters/Nathen": true, "Peters/Roberts": true,
+		"Hopper/Nathen": true, "Hopper/Roberts": true,
+		"Kay/Carter": true,
+	}, nil
+}
+
+func pairsOf(s *gemstone.Session, rows []gemstone.Row) (map[string]bool, error) {
+	got := map[string]bool{}
+	for _, r := range rows {
+		last, err := s.Path("e!Name!Last", map[string]gemstone.Value{"e": r["Emp"]})
+		if err != nil {
+			return nil, err
+		}
+		lastStr, err := s.Print(last)
+		if err != nil {
+			return nil, err
+		}
+		mgrStr, err := s.Print(r["Mgr"])
+		if err != nil {
+			return nil, err
+		}
+		got[strings.Trim(lastStr, "'")+"/"+strings.Trim(mgrStr, "'")] = true
+	}
+	return got, nil
+}
+
+// ExCalc runs the paper's §5.1 calculus query through parser → translator →
+// algebra, both naive and optimized, and checks the answer.
+func ExCalc(w io.Writer) error {
+	db, done, err := tempDB(gemstone.Options{})
+	if err != nil {
+		return err
+	}
+	defer done()
+	s, err := db.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		return err
+	}
+	want, err := buildCalcDB(s, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "§5.1 set-calculus query — employees earning >10% of a department budget, with its managers")
+	fmt.Fprintln(w, "  "+strings.ReplaceAll(paperQuery, "\n", "\n  "))
+	c := &checker{w: w}
+
+	naive, err := s.QueryNaive(paperQuery)
+	if err != nil {
+		return err
+	}
+	opt, err := s.Query(paperQuery)
+	if err != nil {
+		return err
+	}
+	gotN, err := pairsOf(s, naive)
+	if err != nil {
+		return err
+	}
+	gotO, err := pairsOf(s, opt)
+	if err != nil {
+		return err
+	}
+	for _, pairs := range []struct {
+		name string
+		got  map[string]bool
+	}{{"naive plan", gotN}, {"optimized plan", gotO}} {
+		ok := len(pairs.got) == len(want)
+		for k := range want {
+			if !pairs.got[k] {
+				ok = false
+			}
+		}
+		c.check(fmt.Sprintf("%s answer {Emp,Mgr}", pairs.name), ok, fmt.Sprintf("%v", sortedKeys(pairs.got)))
+	}
+	plan, err := s.Explain(paperQuery)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  optimized plan:")
+	for _, line := range strings.Split(plan, "\n") {
+		fmt.Fprintln(w, "    "+line)
+	}
+	return c.result("calc")
+}
+
+// ExRel reproduces the §5.2 encodings: the A-B-C relation as a labeled set,
+// and the Robert Peters children set flattened into the paper's exact
+// three-tuple relation.
+func ExRel(w io.Writer) error {
+	db, done, err := tempDB(gemstone.Options{})
+	if err != nil {
+		return err
+	}
+	defer done()
+	s, err := db.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		return err
+	}
+	c := &checker{w: w}
+	fmt.Fprintln(w, "§5.2 encodings — relation as set, children-set flattening")
+
+	// The relation {T1: {A:1,B:3,C:4}, T2: {A:1,B:5,C:4}} as labeled sets.
+	s.MustRun(`| r t |
+		r := Dictionary new. World at: #R put: r.
+		t := Dictionary new. t at: #A put: 1. t at: #B put: 3. t at: #C put: 4. r at: 'T1' put: t.
+		t := Dictionary new. t at: #A put: 1. t at: #B put: 5. t at: #C put: 4. r at: 'T2' put: t`)
+	got, _ := s.Run("R!T1!B")
+	c.check("relation-as-set: R!T1!B = 3", got == "3", got)
+	got, _ = s.Run("R!T2!B")
+	c.check("relation-as-set: R!T2!B = 5", got == "5", got)
+
+	// The STDM side of the children example: one entity holding the set.
+	s.MustRun(`| p n |
+		p := Dictionary new. World at: #peters put: p.
+		n := Dictionary new. n at: 'First' put: 'Robert'. n at: 'Last' put: 'Peters'.
+		p at: 'Name' put: n.
+		p at: 'Children' put: (Set new add: 'Olivia'; add: 'Dale'; add: 'Paul'; yourself)`)
+	got, _ = s.Run("peters!Children size")
+	c.check("STDM: children exist as ONE object (size 3)", got == "3", got)
+
+	// The relational encoding: the paper's exact three-tuple relation.
+	rel := relational.New("Children", "FirstName", "LastName", "Child")
+	if err := relational.FlattenSetValued(rel, []relational.Value{"Robert", "Peters"}, []relational.Value{"Olivia", "Dale", "Paul"}); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  flattened relation (paper's table):")
+	for _, line := range strings.Split(rel.String(), "\n") {
+		fmt.Fprintln(w, "    "+line)
+	}
+	c.check("flattening produces 3 tuples", rel.Len() == 3, fmt.Sprint(rel.Len()))
+	// Unavoidable redundancy: the parent name repeated in every tuple.
+	repeats := 0
+	for _, t := range rel.Rows() {
+		if t[0] == "Robert" && t[1] == "Peters" {
+			repeats++
+		}
+	}
+	c.check("parent name repeated 3 times (the paper's redundancy)", repeats == 3, fmt.Sprint(repeats))
+	back := relational.CollectSetValued(rel, []relational.Value{"Robert", "Peters"})
+	c.check("reassembly recovers the set", len(back) == 3, fmt.Sprint(back))
+	return c.result("rel")
+}

@@ -1,0 +1,141 @@
+// Package loom is a comparison baseline modeled on LOOM, the "Large
+// Object-Oriented Memory for Smalltalk-80 systems" the paper discusses in
+// §7. LOOM keeps "a two-level object space in main memory and on disk.
+// Objects are moved to main memory from disk as needed."
+//
+// The paper rejects LOOM for GemStone because (a) it is single-user, (b) it
+// retains ST80's 64KB maximum object size, (c) it uses the standard whole-
+// object representation, so "for objects with a large history, we may want
+// to bring only a fragment of the object into memory" is impossible, and
+// (d) it leaves clustering and indexing unsolved. This package reproduces
+// exactly that architecture: a bounded in-memory cache over serialized
+// whole objects, faulting an entire object (its complete history included)
+// on every miss — the behaviour experiments C4 and C10 measure against
+// GemStone's association-table representation.
+package loom
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/oop"
+	"repro/internal/store"
+)
+
+// MaxObjectBytes mirrors ST80's 64KB object ceiling, which LOOM retains.
+const MaxObjectBytes = 64 * 1024
+
+// ErrTooLarge reports an object exceeding the ST80/LOOM size ceiling.
+var ErrTooLarge = errors.New("loom: object exceeds the 64KB ST80 limit")
+
+// ErrNotFound reports an unknown OOP.
+var ErrNotFound = errors.New("loom: object not resident on disk")
+
+// Stats counts memory behaviour.
+type Stats struct {
+	Faults    uint64 // whole-object loads from the disk level
+	Evictions uint64
+	Hits      uint64
+	DiskBytes uint64 // cumulative bytes decoded from disk
+}
+
+// Memory is a two-level LOOM-style object memory.
+type Memory struct {
+	disk     map[uint64][]byte // serialized whole objects
+	cache    map[uint64]*object.Object
+	order    []uint64 // FIFO residency order (LOOM used a clock-ish scheme)
+	capacity int
+	stats    Stats
+}
+
+// New creates a memory with room for capacity resident objects.
+func New(capacity int) *Memory {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Memory{
+		disk:     make(map[uint64][]byte),
+		cache:    make(map[uint64]*object.Object),
+		capacity: capacity,
+	}
+}
+
+// Stats returns the counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters.
+func (m *Memory) ResetStats() { m.stats = Stats{} }
+
+// Store writes an object to the disk level (evicting any cached copy), the
+// way LOOM flushes dirty objects. Objects beyond the 64KB ceiling are
+// rejected, as they were in ST80.
+func (m *Memory) Store(ob *object.Object) error {
+	raw := store.EncodeObject(nil, ob)
+	if len(raw) > MaxObjectBytes {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(raw))
+	}
+	m.disk[ob.OOP.Serial()] = raw
+	delete(m.cache, ob.OOP.Serial())
+	return nil
+}
+
+// fault loads a whole object from disk into the cache.
+func (m *Memory) fault(serial uint64) (*object.Object, error) {
+	raw, ok := m.disk[serial]
+	if !ok {
+		return nil, fmt.Errorf("%w: #%d", ErrNotFound, serial)
+	}
+	m.stats.Faults++
+	m.stats.DiskBytes += uint64(len(raw))
+	ob, err := store.DecodeObject(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.cache) >= m.capacity {
+		// Evict the oldest resident.
+		victim := m.order[0]
+		m.order = m.order[1:]
+		delete(m.cache, victim)
+		m.stats.Evictions++
+	}
+	m.cache[serial] = ob
+	m.order = append(m.order, serial)
+	return ob, nil
+}
+
+// Object returns the resident object, faulting as needed.
+func (m *Memory) Object(o oop.OOP) (*object.Object, error) {
+	if ob, ok := m.cache[o.Serial()]; ok {
+		m.stats.Hits++
+		return ob, nil
+	}
+	return m.fault(o.Serial())
+}
+
+// Fetch reads an element's current value, faulting the whole object in
+// (history and all) on a miss.
+func (m *Memory) Fetch(o oop.OOP, name oop.OOP) (oop.OOP, bool, error) {
+	ob, err := m.Object(o)
+	if err != nil {
+		return oop.Invalid, false, err
+	}
+	v, ok := ob.Fetch(name)
+	return v, ok, nil
+}
+
+// FetchAt reads an element's value in a past state.
+func (m *Memory) FetchAt(o oop.OOP, name oop.OOP, t oop.Time) (oop.OOP, bool, error) {
+	ob, err := m.Object(o)
+	if err != nil {
+		return oop.Invalid, false, err
+	}
+	v, ok := ob.FetchAt(name, t)
+	return v, ok, nil
+}
+
+// Resident returns the number of cached objects.
+func (m *Memory) Resident() int { return len(m.cache) }
+
+// DiskObjects returns the number of objects on the disk level.
+func (m *Memory) DiskObjects() int { return len(m.disk) }

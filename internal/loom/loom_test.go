@@ -1,0 +1,121 @@
+package loom
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/oop"
+)
+
+func obj(serial uint64, writes int) *object.Object {
+	ob := object.New(oop.FromSerial(serial), oop.FromSerial(1), 0, object.FormatNamed)
+	for i := 1; i <= writes; i++ {
+		_ = ob.Store(oop.FromSerial(500), oop.Time(i), oop.MustInt(int64(i)))
+	}
+	return ob
+}
+
+func TestStoreFetch(t *testing.T) {
+	m := New(4)
+	if err := m.Store(obj(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := m.Fetch(oop.FromSerial(1), oop.FromSerial(500))
+	if err != nil || !ok || v != oop.MustInt(3) {
+		t.Errorf("fetch = %v %v %v", v, ok, err)
+	}
+	if m.Stats().Faults != 1 {
+		t.Errorf("faults = %d", m.Stats().Faults)
+	}
+	// Second access is a hit.
+	_, _, _ = m.Fetch(oop.FromSerial(1), oop.FromSerial(500))
+	if m.Stats().Hits != 1 {
+		t.Errorf("hits = %d", m.Stats().Hits)
+	}
+}
+
+func TestHistoryFaultsWhole(t *testing.T) {
+	// The §7 criticism: a large history is faulted in wholesale even to
+	// read one element.
+	m := New(2)
+	const hist = 1000
+	if err := m.Store(obj(1, hist)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Fetch(oop.FromSerial(1), oop.FromSerial(500)); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.DiskBytes < uint64(hist*16) {
+		t.Errorf("whole-object fault should decode the full history (%d bytes)", st.DiskBytes)
+	}
+	// Past states still answerable after the fault.
+	v, ok, err := m.FetchAt(oop.FromSerial(1), oop.FromSerial(500), 5)
+	if err != nil || !ok || v != oop.MustInt(5) {
+		t.Errorf("FetchAt = %v %v %v", v, ok, err)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	m := New(2)
+	for i := uint64(1); i <= 3; i++ {
+		if err := m.Store(obj(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if _, _, err := m.Fetch(oop.FromSerial(i), oop.FromSerial(500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Resident() != 2 {
+		t.Errorf("resident = %d, want capacity 2", m.Resident())
+	}
+	if m.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", m.Stats().Evictions)
+	}
+	// Re-touching the evicted object faults again (thrash).
+	before := m.Stats().Faults
+	if _, _, err := m.Fetch(oop.FromSerial(1), oop.FromSerial(500)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Faults != before+1 {
+		t.Error("expected a re-fault after eviction")
+	}
+}
+
+func Test64KBLimit(t *testing.T) {
+	// LOOM "retains the same maximum size for objects" — exceed it.
+	big := object.New(oop.FromSerial(1), oop.FromSerial(2), 0, object.FormatBytes)
+	_ = big.SetBytes(1, make([]byte, MaxObjectBytes+1))
+	m := New(2)
+	if err := m.Store(big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized object: %v", err)
+	}
+	// An object with a long enough history also crosses the ceiling.
+	huge := obj(1, 5000)
+	if err := m.Store(huge); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("long-history object should exceed the 64KB ceiling: %v", err)
+	}
+}
+
+func TestMissingObject(t *testing.T) {
+	m := New(1)
+	if _, _, err := m.Fetch(oop.FromSerial(9), oop.FromSerial(500)); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing: %v", err)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	m := New(1)
+	_ = m.Store(obj(1, 1))
+	_, _, _ = m.Fetch(oop.FromSerial(1), oop.FromSerial(500))
+	m.ResetStats()
+	if m.Stats() != (Stats{}) {
+		t.Error("stats not reset")
+	}
+	if m.DiskObjects() != 1 {
+		t.Error("disk objects wrong")
+	}
+}

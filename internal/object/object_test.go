@@ -1,0 +1,364 @@
+package object
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/oop"
+)
+
+func sym(i uint64) oop.OOP  { return oop.FromSerial(1000 + i) } // stand-in symbol OOPs
+func val(i int64) oop.OOP   { return oop.MustInt(i) }
+func obj(i uint64) *Object  { return New(oop.FromSerial(i), oop.FromSerial(1), 0, FormatNamed) }
+func bobj(i uint64) *Object { return New(oop.FromSerial(i), oop.FromSerial(2), 0, FormatBytes) }
+
+func TestFetchMissing(t *testing.T) {
+	ob := obj(10)
+	if v, ok := ob.Fetch(sym(1)); ok || v != oop.Nil {
+		t.Errorf("missing element: got (%v,%v), want (nil,false)", v, ok)
+	}
+}
+
+func TestStoreFetchCurrent(t *testing.T) {
+	ob := obj(10)
+	if err := ob.Store(sym(1), 5, val(100)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ob.Fetch(sym(1)); !ok || v != val(100) {
+		t.Errorf("got (%v,%v)", v, ok)
+	}
+	if err := ob.Store(sym(1), 8, val(200)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ob.Fetch(sym(1)); v != val(200) {
+		t.Errorf("current = %v, want 200", v)
+	}
+}
+
+// TestFigure1Semantics encodes the paper's §5.3.2 temporal reading rules:
+// the binding begins at its transaction time and ends when a later one
+// supersedes it.
+func TestFigure1Semantics(t *testing.T) {
+	pres := sym(1)
+	acme := obj(20)
+	ayn, milton := oop.FromSerial(501), oop.FromSerial(502)
+	if err := acme.Store(pres, 5, ayn); err != nil {
+		t.Fatal(err)
+	}
+	if err := acme.Store(pres, 8, milton); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   oop.Time
+		want oop.OOP
+		ok   bool
+	}{
+		{4, oop.Invalid, false}, // before any president
+		{5, ayn, true},
+		{7, ayn, true}, // paper: "@7 ... the previous president"
+		{8, milton, true},
+		{10, milton, true}, // paper: "@10 ... the new president"
+	}
+	for _, c := range cases {
+		v, ok := acme.FetchAt(pres, c.at)
+		if ok != c.ok || (ok && v != c.want) {
+			t.Errorf("president@%v = (%v,%v), want (%v,%v)", c.at, v, ok, c.want, c.ok)
+		}
+	}
+	if v, ok := acme.FetchAt(pres, oop.TimeNow); !ok || v != milton {
+		t.Errorf("president@now = (%v,%v)", v, ok)
+	}
+}
+
+func TestRemoveRecordsNil(t *testing.T) {
+	emp := sym(3)
+	roster := obj(30)
+	ayn := oop.FromSerial(501)
+	if err := roster.Store(emp, 2, ayn); err != nil {
+		t.Fatal(err)
+	}
+	if err := roster.Remove(emp, 8); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := roster.FetchAt(emp, 5); v != ayn {
+		t.Error("history lost after removal")
+	}
+	if v, ok := roster.FetchAt(emp, 9); !ok || v != oop.Nil {
+		t.Errorf("removed element should read nil, got (%v,%v)", v, ok)
+	}
+	names := roster.NamesAt(5)
+	if len(names) != 1 || names[0] != emp {
+		t.Errorf("NamesAt(5) = %v", names)
+	}
+	if names := roster.NamesAt(9); len(names) != 0 {
+		t.Errorf("NamesAt(9) = %v, want empty (nil-valued elements hidden)", names)
+	}
+}
+
+func TestRecordBackwardsTimeRejected(t *testing.T) {
+	ob := obj(10)
+	if err := ob.Store(sym(1), 10, val(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Store(sym(1), 9, val(2)); err == nil {
+		t.Error("expected error storing at earlier time")
+	}
+}
+
+func TestSameTimeCollapses(t *testing.T) {
+	ob := obj(10)
+	_ = ob.Store(sym(1), 4, val(1))
+	_ = ob.Store(sym(1), 4, val(2))
+	e := ob.Element(sym(1))
+	if len(e.Hist) != 1 || e.Hist[0].Value != val(2) {
+		t.Errorf("hist = %v, want single collapsed assoc", e.Hist)
+	}
+}
+
+func TestNoDuplicateNames(t *testing.T) {
+	ob := obj(10)
+	_ = ob.Store(sym(1), 1, val(1))
+	_ = ob.Store(sym(1), 2, val(2))
+	if ob.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (no two elements share a name)", ob.Len())
+	}
+}
+
+func TestPendingAndRestamp(t *testing.T) {
+	ob := obj(10)
+	_ = ob.Store(sym(1), 3, val(1))
+	_ = ob.Store(sym(1), PendingTime, val(2))
+	// Session sees its own write as current.
+	if v, _ := ob.Fetch(sym(1)); v != val(2) {
+		t.Error("pending write not visible as current")
+	}
+	// But the committed state at time 3 still shows the old value.
+	if v, _ := ob.FetchAt(sym(1), 3); v != val(1) {
+		t.Error("pending write leaked into past state")
+	}
+	ob.RestampPending(7)
+	e := ob.Element(sym(1))
+	if e.Hist[1].T != 7 {
+		t.Errorf("restamp failed: %v", e.Hist)
+	}
+	if v, _ := ob.FetchAt(sym(1), 7); v != val(2) {
+		t.Error("restamped value not visible at commit time")
+	}
+}
+
+func TestBytesVersions(t *testing.T) {
+	ob := bobj(40)
+	if err := ob.SetBytes(2, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.SetBytes(5, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if string(ob.Bytes()) != "world" {
+		t.Error("current bytes wrong")
+	}
+	if b, ok := ob.BytesAt(3); !ok || string(b) != "hello" {
+		t.Errorf("BytesAt(3) = (%q,%v)", b, ok)
+	}
+	if _, ok := ob.BytesAt(1); ok {
+		t.Error("BytesAt before first version should be !ok")
+	}
+	if ob.ByteLen() != 5 {
+		t.Errorf("ByteLen = %d", ob.ByteLen())
+	}
+	if err := ob.SetBytes(4, nil); err == nil {
+		t.Error("backwards byte time should fail")
+	}
+	if err := ob.Store(sym(1), 6, val(1)); err == nil {
+		t.Error("byte objects must reject named elements")
+	}
+}
+
+func TestBytesOnNamedRejected(t *testing.T) {
+	ob := obj(10)
+	if err := ob.SetBytes(1, []byte("x")); err == nil {
+		t.Error("named object must reject SetBytes")
+	}
+}
+
+func TestClone(t *testing.T) {
+	ob := obj(10)
+	_ = ob.Store(sym(1), 1, val(1))
+	_ = ob.Store(sym(2), 2, oop.FromSerial(99))
+	c := ob.Clone()
+	_ = c.Store(sym(1), 3, val(5))
+	if v, _ := ob.Fetch(sym(1)); v != val(1) {
+		t.Error("clone write leaked into original")
+	}
+	if v, _ := c.Fetch(sym(2)); v != oop.FromSerial(99) {
+		t.Error("clone lost shared reference (identity must be preserved)")
+	}
+	b := bobj(41)
+	_ = b.SetBytes(1, []byte("abc"))
+	cb := b.Clone()
+	cb.Bytes()[0] = 'X'
+	if string(b.Bytes()) != "abc" {
+		t.Error("byte clone aliased original payload")
+	}
+}
+
+func TestEquivalentAtVsIdentity(t *testing.T) {
+	// Paper §4.2: two gates with identical structure are equivalent but not
+	// identical.
+	a, b := obj(50), obj(51)
+	for _, ob := range []*Object{a, b} {
+		_ = ob.Store(sym(1), 1, val(7))
+		_ = ob.Store(sym(2), 1, oop.FromChar('x'))
+	}
+	if !a.EquivalentAt(b, oop.TimeNow) {
+		t.Error("structurally equal objects should be equivalent")
+	}
+	if a.OOP == b.OOP {
+		t.Error("distinct objects must not be identical")
+	}
+	_ = b.Store(sym(1), 2, val(8))
+	if a.EquivalentAt(b, oop.TimeNow) {
+		t.Error("diverged objects should not be equivalent now")
+	}
+	if !a.EquivalentAt(b, oop.Time(1)) {
+		t.Error("objects should still be equivalent in the state at t=1")
+	}
+}
+
+func TestHistoryLen(t *testing.T) {
+	ob := obj(10)
+	for i := 1; i <= 5; i++ {
+		_ = ob.Store(sym(1), oop.Time(i), val(int64(i)))
+	}
+	_ = ob.Store(sym(2), 6, val(0))
+	if got := ob.HistoryLen(); got != 6 {
+		t.Errorf("HistoryLen = %d, want 6", got)
+	}
+}
+
+// Property: for any sequence of monotone writes, FetchAt(t) returns the
+// value of the latest write at or before t.
+func TestFetchAtProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ob := obj(10)
+		type w struct {
+			t oop.Time
+			v oop.OOP
+		}
+		var writes []w
+		tm := oop.Time(0)
+		for i, r := range raw {
+			tm += oop.Time(r%5 + 1)
+			v := val(int64(i))
+			if ob.Store(sym(1), tm, v) != nil {
+				return false
+			}
+			writes = append(writes, w{tm, v})
+		}
+		// Check a spread of query times.
+		for q := oop.Time(0); q < tm+3; q++ {
+			var want oop.OOP
+			ok := false
+			for _, wr := range writes {
+				if wr.t <= q {
+					want, ok = wr.v, true
+				}
+			}
+			got, gok := ob.FetchAt(sym(1), q)
+			if gok != ok || (ok && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNamesAtOrderStable(t *testing.T) {
+	ob := obj(10)
+	for i := 0; i < 20; i++ {
+		_ = ob.Store(sym(uint64(i)), 1, val(int64(i)))
+	}
+	names := ob.NamesAt(oop.TimeNow)
+	for i, n := range names {
+		if n != sym(uint64(i)) {
+			t.Fatalf("insertion order not preserved at %d: %v", i, names)
+		}
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	for f, want := range map[Format]string{FormatNamed: "named", FormatIndexed: "indexed", FormatBytes: "bytes", Format(9): "format(9)"} {
+		if f.String() != want {
+			t.Errorf("Format(%d).String() = %q", f, f.String())
+		}
+	}
+}
+
+func BenchmarkFetchAtByHistoryLen(b *testing.B) {
+	for _, n := range []int{1, 16, 256, 4096, 65536} {
+		ob := obj(10)
+		for i := 1; i <= n; i++ {
+			_ = ob.Store(sym(1), oop.Time(i), val(int64(i)))
+		}
+		b.Run(fmt.Sprintf("hist=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ob.FetchAt(sym(1), oop.Time(n/2))
+			}
+		})
+	}
+}
+
+// Ablation (DESIGN.md): the chosen binary-searched association table vs a
+// linear scan over the same history.
+func linearAt(e *Element, t oop.Time) (oop.OOP, bool) {
+	var v oop.OOP
+	ok := false
+	for _, a := range e.Hist {
+		if a.T <= t {
+			v, ok = a.Value, true
+		} else {
+			break
+		}
+	}
+	return v, ok
+}
+
+func TestLinearAtAgreesWithBinary(t *testing.T) {
+	ob := obj(10)
+	for i := 1; i <= 100; i += 3 {
+		_ = ob.Store(sym(1), oop.Time(i), val(int64(i)))
+	}
+	e := ob.Element(sym(1))
+	for q := oop.Time(0); q <= 105; q++ {
+		bv, bok := e.At(q)
+		lv, lok := linearAt(e, q)
+		if bv != lv || bok != lok {
+			t.Fatalf("disagreement at %v: binary (%v,%v) linear (%v,%v)", q, bv, bok, lv, lok)
+		}
+	}
+}
+
+func BenchmarkHistoryRepresentationAblation(b *testing.B) {
+	for _, n := range []int{64, 4096} {
+		ob := obj(10)
+		for i := 1; i <= n; i++ {
+			_ = ob.Store(sym(1), oop.Time(i), val(int64(i)))
+		}
+		e := ob.Element(sym(1))
+		mid := oop.Time(n / 2)
+		b.Run(fmt.Sprintf("binary/hist=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.At(mid)
+			}
+		})
+		b.Run(fmt.Sprintf("linear/hist=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				linearAt(e, mid)
+			}
+		})
+	}
+}

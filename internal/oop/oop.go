@@ -1,0 +1,154 @@
+// Package oop defines object-oriented pointers (OOPs), the universal value
+// representation of the GemStone reproduction, and transaction time.
+//
+// An OOP is a 64-bit tagged word. Small immediate values — small integers,
+// characters, booleans and nil — are encoded directly in the word; everything
+// else is a heap object identified by a serial number. Identity of an entity
+// is exactly equality of OOPs, which is what gives the data model entity
+// identity: an object "lives forever with that identity" (paper §5.4).
+package oop
+
+import (
+	"fmt"
+	"math"
+)
+
+// OOP is a tagged object-oriented pointer. The low two bits are the tag:
+//
+//	tag 0 (00): heap object; serial number in the upper 62 bits (0 invalid)
+//	tag 1 (01): SmallInteger; signed 62-bit payload
+//	tag 2 (10): Character; Unicode code point in the upper bits
+//	tag 3 (11): special constants: nil, false, true
+//
+// The zero OOP is invalid (tag 0, serial 0), so the Go zero value of any
+// structure holding OOPs is detectably uninitialized.
+type OOP uint64
+
+const (
+	tagBits = 2
+	tagMask = (1 << tagBits) - 1
+
+	tagHeap      = 0
+	tagSmallInt  = 1
+	tagCharacter = 2
+	tagSpecial   = 3
+)
+
+// Special constants.
+const (
+	Invalid OOP = 0                           // the zero value; never a legal reference
+	Nil     OOP = tagSpecial | (0 << tagBits) // the sole instance of UndefinedObject
+	False   OOP = tagSpecial | (1 << tagBits)
+	True    OOP = tagSpecial | (2 << tagBits)
+)
+
+// SmallInteger payload bounds (signed 62-bit).
+const (
+	MaxSmallInt = math.MaxInt64 >> tagBits
+	MinSmallInt = math.MinInt64 >> tagBits
+)
+
+// FromSerial builds a heap OOP from an object serial number. Serial numbers
+// start at 1; FromSerial(0) returns Invalid.
+func FromSerial(serial uint64) OOP { return OOP(serial << tagBits) }
+
+// FromInt builds a SmallInteger OOP. The second result is false if v is
+// outside the signed 62-bit payload range.
+func FromInt(v int64) (OOP, bool) {
+	if v < MinSmallInt || v > MaxSmallInt {
+		return Invalid, false
+	}
+	return OOP(uint64(v)<<tagBits) | tagSmallInt, true
+}
+
+// MustInt builds a SmallInteger OOP and panics on overflow. Use only for
+// values known to be small (literals, counters).
+func MustInt(v int64) OOP {
+	o, ok := FromInt(v)
+	if !ok {
+		panic(fmt.Sprintf("oop: integer %d exceeds SmallInteger range", v))
+	}
+	return o
+}
+
+// FromChar builds a Character OOP from a code point.
+func FromChar(r rune) OOP { return OOP(uint64(uint32(r))<<tagBits) | tagCharacter }
+
+// FromBool returns True or False.
+func FromBool(b bool) OOP {
+	if b {
+		return True
+	}
+	return False
+}
+
+// IsHeap reports whether o refers to a heap object (and is not Invalid).
+func (o OOP) IsHeap() bool { return o&tagMask == tagHeap && o != Invalid }
+
+// IsSmallInt reports whether o is an immediate SmallInteger.
+func (o OOP) IsSmallInt() bool { return o&tagMask == tagSmallInt }
+
+// IsCharacter reports whether o is an immediate Character.
+func (o OOP) IsCharacter() bool { return o&tagMask == tagCharacter }
+
+// IsSpecial reports whether o is nil, true or false.
+func (o OOP) IsSpecial() bool { return o&tagMask == tagSpecial }
+
+// IsImmediate reports whether o carries its value in the pointer itself.
+func (o OOP) IsImmediate() bool { return o != Invalid && !o.IsHeap() }
+
+// Serial returns the heap serial number, or 0 if o is not a heap OOP.
+func (o OOP) Serial() uint64 {
+	if !o.IsHeap() {
+		return 0
+	}
+	return uint64(o) >> tagBits
+}
+
+// Int returns the SmallInteger payload. It panics if o is not a SmallInteger.
+func (o OOP) Int() int64 {
+	if !o.IsSmallInt() {
+		panic(fmt.Sprintf("oop: Int on non-SmallInteger %v", o))
+	}
+	return int64(o) >> tagBits
+}
+
+// Char returns the Character payload. It panics if o is not a Character.
+func (o OOP) Char() rune {
+	if !o.IsCharacter() {
+		panic(fmt.Sprintf("oop: Char on non-Character %v", o))
+	}
+	return rune(uint64(o) >> tagBits)
+}
+
+// Bool converts True/False to a Go bool. The second result is false for any
+// other OOP.
+func (o OOP) Bool() (value, ok bool) {
+	switch o {
+	case True:
+		return true, true
+	case False:
+		return false, true
+	}
+	return false, false
+}
+
+// String renders the OOP for diagnostics (not user-level printString).
+func (o OOP) String() string {
+	switch {
+	case o == Invalid:
+		return "<invalid>"
+	case o == Nil:
+		return "nil"
+	case o == True:
+		return "true"
+	case o == False:
+		return "false"
+	case o.IsSmallInt():
+		return fmt.Sprintf("%d", o.Int())
+	case o.IsCharacter():
+		return fmt.Sprintf("$%c", o.Char())
+	default:
+		return fmt.Sprintf("oop#%d", o.Serial())
+	}
+}

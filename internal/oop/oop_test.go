@@ -1,0 +1,180 @@
+package oop
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecialConstantsDistinct(t *testing.T) {
+	seen := map[OOP]string{}
+	for name, o := range map[string]OOP{"invalid": Invalid, "nil": Nil, "true": True, "false": False} {
+		if prev, dup := seen[o]; dup {
+			t.Fatalf("%s and %s share encoding %v", name, prev, o)
+		}
+		seen[o] = name
+	}
+	if Invalid.IsHeap() {
+		t.Error("Invalid must not be a heap OOP")
+	}
+	if !Nil.IsSpecial() || !True.IsSpecial() || !False.IsSpecial() {
+		t.Error("nil/true/false must be special")
+	}
+}
+
+func TestFromSerialRoundTrip(t *testing.T) {
+	for _, s := range []uint64{1, 2, 42, 1 << 20, 1 << 40} {
+		o := FromSerial(s)
+		if !o.IsHeap() {
+			t.Errorf("FromSerial(%d) not heap", s)
+		}
+		if got := o.Serial(); got != s {
+			t.Errorf("Serial() = %d, want %d", got, s)
+		}
+	}
+	if FromSerial(0) != Invalid {
+		t.Error("FromSerial(0) should be Invalid")
+	}
+}
+
+func TestFromIntRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 42, -42, MaxSmallInt, MinSmallInt}
+	for _, v := range cases {
+		o, ok := FromInt(v)
+		if !ok {
+			t.Fatalf("FromInt(%d) overflowed unexpectedly", v)
+		}
+		if !o.IsSmallInt() {
+			t.Errorf("FromInt(%d) not a SmallInteger", v)
+		}
+		if got := o.Int(); got != v {
+			t.Errorf("Int() = %d, want %d", got, v)
+		}
+	}
+}
+
+func TestFromIntOverflow(t *testing.T) {
+	if _, ok := FromInt(MaxSmallInt + 1); ok {
+		t.Error("expected overflow above MaxSmallInt")
+	}
+	if _, ok := FromInt(MinSmallInt - 1); ok {
+		t.Error("expected overflow below MinSmallInt")
+	}
+}
+
+func TestFromCharRoundTrip(t *testing.T) {
+	for _, r := range []rune{'a', 'Z', '0', '∈', '日', 0} {
+		o := FromChar(r)
+		if !o.IsCharacter() {
+			t.Errorf("FromChar(%q) not a Character", r)
+		}
+		if got := o.Char(); got != r {
+			t.Errorf("Char() = %q, want %q", got, r)
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	if v, ok := True.Bool(); !ok || !v {
+		t.Error("True.Bool() wrong")
+	}
+	if v, ok := False.Bool(); !ok || v {
+		t.Error("False.Bool() wrong")
+	}
+	if _, ok := Nil.Bool(); ok {
+		t.Error("Nil.Bool() should not be ok")
+	}
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Error("FromBool wrong")
+	}
+}
+
+func TestTagsArePartition(t *testing.T) {
+	// Property: every OOP is exactly one of heap/smallint/char/special
+	// (Invalid counts as none).
+	f := func(raw uint64) bool {
+		o := OOP(raw)
+		n := 0
+		if o.IsHeap() {
+			n++
+		}
+		if o.IsSmallInt() {
+			n++
+		}
+		if o.IsCharacter() {
+			n++
+		}
+		if o.IsSpecial() {
+			n++
+		}
+		if o == Invalid {
+			return n == 0
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		o, ok := FromInt(v)
+		if !ok {
+			return v > MaxSmallInt || v < MinSmallInt
+		}
+		return o.Int() == v && o.IsSmallInt() && !o.IsHeap()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentityIsEquality(t *testing.T) {
+	// Entity identity: two OOPs denote the same entity iff the words match.
+	a, b := FromSerial(7), FromSerial(7)
+	if a != b {
+		t.Error("same serial must be identical")
+	}
+	if FromSerial(7) == FromSerial(8) {
+		t.Error("different serials must differ")
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	if !(TimeZero < Time(1) && Time(1) < Time(2) && Time(2) < TimeNow) {
+		t.Error("time ordering broken")
+	}
+	if !TimeNow.IsNow() || Time(5).IsNow() {
+		t.Error("IsNow wrong")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := map[OOP]string{
+		Nil:           "nil",
+		True:          "true",
+		False:         "false",
+		MustInt(42):   "42",
+		MustInt(-1):   "-1",
+		FromChar('a'): "$a",
+		FromSerial(9): "oop#9",
+		Invalid:       "<invalid>",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", uint64(o), got, want)
+		}
+	}
+	if Time(3).String() != "t3" || TimeNow.String() != "now" {
+		t.Error("Time.String wrong")
+	}
+}
+
+func TestMustIntPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInt should panic on overflow")
+		}
+	}()
+	MustInt(MaxSmallInt + 1)
+}

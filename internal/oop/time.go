@@ -1,0 +1,27 @@
+package oop
+
+import "fmt"
+
+// Time is a transaction time: the logical timestamp assigned when a
+// transaction commits (paper §5.3.1 chooses transaction time over event
+// time). Times are totally ordered and assigned by the Transaction Manager
+// in strictly increasing order, starting at 1.
+type Time uint64
+
+const (
+	// TimeZero precedes every transaction; nothing is visible at TimeZero.
+	TimeZero Time = 0
+	// TimeNow is a sentinel meaning "the current state" when used as a time
+	// dial setting; every committed time compares below it.
+	TimeNow Time = ^Time(0)
+)
+
+// IsNow reports whether t is the current-state sentinel.
+func (t Time) IsNow() bool { return t == TimeNow }
+
+func (t Time) String() string {
+	if t.IsNow() {
+		return "now"
+	}
+	return fmt.Sprintf("t%d", uint64(t))
+}

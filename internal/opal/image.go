@@ -1,0 +1,110 @@
+package opal
+
+import (
+	"fmt"
+
+	"repro/internal/oop"
+)
+
+// imageVersion guards one-time installation of the OPAL kernel image:
+// generic collection/number protocol written in OPAL itself, plus the
+// System and Transcript singletons. Bump when kernel sources change so
+// existing databases pick up the new image.
+const imageVersion = 2
+
+// kernelSources maps class name -> method sources, written in OPAL. These
+// build the generic protocol on top of the Go primitives (each concrete
+// collection provides do:; everything else follows).
+var kernelSources = map[string][]string{
+	"Object": {
+		"printNl Transcript show: self printString; cr",
+		"ifNil: aBlock ^self isNil ifTrue: [aBlock value] ifFalse: [self]",
+		"ifNotNil: aBlock ^self isNil ifTrue: [nil] ifFalse: [aBlock value: self]",
+		"asString ^self printString",
+	},
+	"Number": {
+		"max: aNumber self > aNumber ifTrue: [^self]. ^aNumber",
+		"min: aNumber self < aNumber ifTrue: [^self]. ^aNumber",
+		"between: lo and: hi ^(self >= lo) and: [self <= hi]",
+		"squared ^self * self",
+		"isZero ^self = 0",
+	},
+	"Collection": {
+		"select: aBlock | result | result := OrderedCollection new. self do: [:each | (aBlock value: each) ifTrue: [result add: each]]. ^result",
+		"reject: aBlock ^self select: [:each | (aBlock value: each) not]",
+		"collect: aBlock | result | result := OrderedCollection new. self do: [:each | result add: (aBlock value: each)]. ^result",
+		"detect: aBlock ^self detect: aBlock ifNone: [self error: 'element not found']",
+		"detect: aBlock ifNone: exceptionBlock self do: [:each | (aBlock value: each) ifTrue: [^each]]. ^exceptionBlock value",
+		"inject: start into: aBlock | acc | acc := start. self do: [:each | acc := aBlock value: acc value: each]. ^acc",
+		"includes: anObject self do: [:each | each = anObject ifTrue: [^true]]. ^false",
+		"isEmpty ^self size = 0",
+		"notEmpty ^self isEmpty not",
+		"anySatisfy: aBlock self do: [:each | (aBlock value: each) ifTrue: [^true]]. ^false",
+		"allSatisfy: aBlock self do: [:each | (aBlock value: each) ifFalse: [^false]]. ^true",
+		"count: aBlock | n | n := 0. self do: [:each | (aBlock value: each) ifTrue: [n := n + 1]]. ^n",
+		"addAll: aCollection aCollection do: [:each | self add: each]. ^aCollection",
+		"asOrderedCollection | r | r := OrderedCollection new. self do: [:e | r add: e]. ^r",
+		"sum | acc | acc := 0. self do: [:e | acc := acc + e]. ^acc",
+		"maxValue | best | best := nil. self do: [:e | (best isNil or: [e > best]) ifTrue: [best := e]]. ^best",
+		"minValue | best | best := nil. self do: [:e | (best isNil or: [e < best]) ifTrue: [best := e]]. ^best",
+		"average ^self sum / self size",
+		"do: aBlock separatedBy: sepBlock | first | first := true. self do: [:e | first ifFalse: [sepBlock value]. first := false. aBlock value: e]",
+		"asSet | s | s := Set new. self do: [:e | s add: e]. ^s",
+		"asBag | b | b := Bag new. self do: [:e | b add: e]. ^b",
+		"asSortedCollection: aBlock ^self asOrderedCollection sort: aBlock",
+		"occurrencesOf: anObject ^self count: [:e | e = anObject]",
+	},
+}
+
+// installKernelMethods installs the kernel image once per database and
+// re-resolves the System/Transcript singletons for this interpreter.
+func (in *Interp) installKernelMethods() error {
+	if v, ok := in.s.Global("OpalImageVersion"); ok && v.IsSmallInt() && v.Int() >= imageVersion {
+		return nil
+	}
+	// First interpreter on a fresh database: build the image. This needs
+	// write access to the published globals segment, which every user has.
+	k := in.s.DB().Kernel()
+	// SystemAccess / TranscriptStream classes and their singletons.
+	sysCls, err := in.defineClass("SystemAccess", k.Object, nil)
+	if err != nil {
+		return fmt.Errorf("opal: install image: %w", err)
+	}
+	trCls, err := in.defineClass("TranscriptStream", k.Object, nil)
+	if err != nil {
+		return err
+	}
+	sys, err := in.s.NewObject(sysCls)
+	if err != nil {
+		return err
+	}
+	if err := in.s.SetGlobal("System", sys); err != nil {
+		return err
+	}
+	tr, err := in.s.NewObject(trCls)
+	if err != nil {
+		return err
+	}
+	if err := in.s.SetGlobal("Transcript", tr); err != nil {
+		return err
+	}
+	// Kernel method sources.
+	for clsName, sources := range kernelSources {
+		cls, ok := in.s.Global(clsName)
+		if !ok {
+			return fmt.Errorf("opal: kernel class %s missing", clsName)
+		}
+		for _, src := range sources {
+			if _, err := in.defineMethod(cls, src); err != nil {
+				return fmt.Errorf("opal: kernel method for %s: %w", clsName, err)
+			}
+		}
+	}
+	if err := in.s.SetGlobal("OpalImageVersion", oop.MustInt(imageVersion)); err != nil {
+		return err
+	}
+	if err := in.s.CommitKernel(); err != nil {
+		return fmt.Errorf("opal: committing kernel image: %w", err)
+	}
+	return nil
+}

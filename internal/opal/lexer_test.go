@@ -1,0 +1,257 @@
+package opal
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, 0, len(toks))
+	for _, t := range toks {
+		out = append(out, t.kind)
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lexSource("foo at: 3 put: 'str'. #sym $a 2.5 := ^ | ; [ ] ( )")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokenKind{tkIdent, tkKeyword, tkInt, tkKeyword, tkString, tkDot,
+		tkSymbol, tkChar, tkFloat, tkAssign, tkCaret, tkPipe, tkSemi,
+		tkLBracket, tkRBracket, tkLParen, tkRParen, tkEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: kind %d, want %d (%s)", i, got[i], want[i], toks[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lexSource(`3 "a comment" + "another
+multi line" 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // 3, +, 4, EOF
+		t.Errorf("tokens = %v", toks)
+	}
+	if _, err := lexSource(`"unterminated`); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]struct {
+		kind tokenKind
+		i    int64
+		f    float64
+	}{
+		"42":     {tkInt, 42, 0},
+		"2.5":    {tkFloat, 0, 2.5},
+		"1e3":    {tkFloat, 0, 1000},
+		"2.5e-1": {tkFloat, 0, 0.25},
+		"0":      {tkInt, 0, 0},
+	}
+	for src, want := range cases {
+		toks, err := lexSource(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if toks[0].kind != want.kind || toks[0].i != want.i || toks[0].f != want.f {
+			t.Errorf("%q = %+v", src, toks[0])
+		}
+	}
+}
+
+func TestLexSymbols(t *testing.T) {
+	cases := map[string]string{
+		"#foo":        "foo",
+		"#at:put:":    "at:put:",
+		"#+":          "+",
+		"#'odd name'": "odd name",
+	}
+	for src, want := range cases {
+		toks, err := lexSource(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if toks[0].kind != tkSymbol || toks[0].text != want {
+			t.Errorf("%q = %+v", src, toks[0])
+		}
+	}
+}
+
+func TestLexStringsEscapes(t *testing.T) {
+	toks, err := lexSource("'it''s'")
+	if err != nil || toks[0].text != "it's" {
+		t.Errorf("%v %v", toks, err)
+	}
+	if _, err := lexSource("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestLexBangAndAtAreNotBinary(t *testing.T) {
+	toks, err := lexSource("a!b@3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokenKind{tkIdent, tkBang, tkIdent, tkAt, tkInt, tkEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v", got)
+		}
+	}
+}
+
+func TestLexNeverPanicsProperty(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = lexSource(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = parseDoIt(src)
+		_, _ = parseMethod(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseMethodPatterns(t *testing.T) {
+	cases := map[string]struct {
+		sel    string
+		params int
+	}{
+		"size ^3":                {"size", 0},
+		"+ other ^other":         {"+", 1},
+		"at: k put: v ^v":        {"at:put:", 2},
+		"from: a to: b by: c ^a": {"from:to:by:", 3},
+	}
+	for src, want := range cases {
+		m, err := parseMethod(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if m.selector != want.sel || len(m.params) != want.params {
+			t.Errorf("%q = %s/%d", src, m.selector, len(m.params))
+		}
+	}
+}
+
+func TestParseErrorsHavePositions(t *testing.T) {
+	for _, src := range []string{
+		"3 +",          // missing operand
+		"x := ",        // missing value
+		"[:a b | a]",   // missing pipe
+		"(3 + 4",       // unclosed paren
+		"#(1 2",        // unclosed literal array
+		"a at: 3 put:", // missing keyword arg
+		"x!",           // dangling path bang
+		"a!b@",         // dangling @
+		"^1. 2",        // statements after return
+		"3 . . 4",      // stray dot
+	} {
+		_, err := parseDoIt(src)
+		if err == nil {
+			t.Errorf("%q should fail", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), "offset") {
+			t.Errorf("%q: error lacks position: %v", src, err)
+		}
+	}
+}
+
+func TestCompilerJumpPatching(t *testing.T) {
+	// A long body inside an inlined conditional exercises i16 jump offsets.
+	in := newInterp(t)
+	var b strings.Builder
+	b.WriteString("| s | s := 0. true ifTrue: [")
+	for i := 0; i < 200; i++ {
+		b.WriteString("s := s + 1. ")
+	}
+	b.WriteString("s] ifFalse: [0]")
+	out, err := in.ExecuteToString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "200" {
+		t.Errorf("= %s", out)
+	}
+}
+
+func TestVMStressBinaryTree(t *testing.T) {
+	// A full user-level data structure: BST insert + in-order traversal,
+	// exercising recursion, blocks, nil tests and instance variables.
+	in := newInterp(t)
+	for _, src := range []string{
+		`Object subclass: 'TreeNode' instVarNames: #('key' 'left' 'right')`,
+		`TreeNode compile: 'key: k key := k'`,
+		`TreeNode compile: 'insert: k
+			k < key
+				ifTrue: [left isNil ifTrue: [left := TreeNode new key: k] ifFalse: [left insert: k]]
+				ifFalse: [right isNil ifTrue: [right := TreeNode new key: k] ifFalse: [right insert: k]]'`,
+		`TreeNode compile: 'do: aBlock
+			left notNil ifTrue: [left do: aBlock].
+			aBlock value: key.
+			right notNil ifTrue: [right do: aBlock]'`,
+	} {
+		if _, err := in.Execute(src); err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+	}
+	out, err := in.ExecuteToString(`| root vals sorted prev ok |
+		root := TreeNode new key: 500.
+		vals := OrderedCollection new.
+		1 to: 200 do: [:i | root insert: i * 37 \\ 401].
+		root do: [:k | vals add: k].
+		prev := -1. ok := true.
+		vals do: [:k | k < prev ifTrue: [ok := false]. prev := k].
+		ok & (vals size >= 200)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "true" {
+		t.Errorf("BST traversal not sorted: %s", out)
+	}
+}
+
+func TestCascadePrecedence(t *testing.T) {
+	in := newInterp(t)
+	evalCases(t, in, [][2]string{
+		// Cascade binds to the outermost keyword send's receiver.
+		{"| c | c := OrderedCollection new. c add: 1 + 1; add: 2 * 2. c", "an OrderedCollection( 2 4 )"},
+		// Unary cascade parts.
+		{"| c | c := OrderedCollection new. c add: 3; removeLast; yourself", "an OrderedCollection( )"},
+	})
+}
+
+func TestKeywordPrecedence(t *testing.T) {
+	in := newInterp(t)
+	evalCases(t, in, [][2]string{
+		// unary > binary > keyword.
+		{"2 + 3 max: 4", "5"},
+		{"2 max: 3 + 4", "7"},
+		{"2 + 3 squared", "11"}, // squared binds to 3
+		{"(2 + 3) squared", "25"},
+	})
+}

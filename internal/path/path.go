@@ -1,0 +1,300 @@
+// Package path implements the paper's path syntax for navigating through
+// objects (§4.3, §5.1): X!Departments!A16!Managers, with temporal
+// subscripts E!Salary@T (§5.3.2) and assignment to path expressions
+// ("allow assignments to path expressions ... sometimes it is the most
+// natural way to define methods", §4.3).
+package path
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/core"
+	"repro/internal/oop"
+)
+
+// Segment is one step of a path: an element name (identifier or quoted
+// string, interned as a symbol) or a numeric index, optionally followed by
+// a temporal subscript @T.
+type Segment struct {
+	Name    string // element name; empty when IsIndex
+	IsIndex bool
+	Index   int64
+	HasAt   bool
+	At      oop.Time
+}
+
+// Expr is a parsed path expression: a root variable followed by segments.
+type Expr struct {
+	Root string
+	Segs []Segment
+}
+
+// String renders the expression back to path syntax.
+func (e *Expr) String() string {
+	var b strings.Builder
+	b.WriteString(e.Root)
+	for _, s := range e.Segs {
+		b.WriteByte('!')
+		if s.IsIndex {
+			fmt.Fprintf(&b, "%d", s.Index)
+		} else if isIdent(s.Name) {
+			b.WriteString(s.Name)
+		} else {
+			fmt.Fprintf(&b, "'%s'", strings.ReplaceAll(s.Name, "'", "''"))
+		}
+		if s.HasAt {
+			fmt.Fprintf(&b, "@%d", uint64(s.At))
+		}
+	}
+	return b.String()
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 && !unicode.IsLetter(r) && r != '_' {
+			return false
+		}
+		if i > 0 && !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) error(format string, args ...any) error {
+	return fmt.Errorf("path: %s at offset %d in %q", fmt.Sprintf(format, args...), p.pos, p.src)
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || (p.pos > start && c >= '0' && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) quoted() (string, error) {
+	p.pos++ // opening quote
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '\'' {
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] == '\'' {
+				b.WriteByte('\'')
+				p.pos += 2
+				continue
+			}
+			p.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	return "", p.error("unterminated string")
+}
+
+func (p *parser) number() (int64, error) {
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	return strconv.ParseInt(p.src[start:p.pos], 10, 64)
+}
+
+// Parse parses a path expression.
+func Parse(src string) (*Expr, error) {
+	p := &parser{src: src}
+	p.skipSpace()
+	root := p.ident()
+	if root == "" {
+		return nil, p.error("path must start with a variable name")
+	}
+	e := &Expr{Root: root}
+	for {
+		p.skipSpace()
+		if p.peek() != '!' {
+			break
+		}
+		p.pos++
+		p.skipSpace()
+		var seg Segment
+		switch c := p.peek(); {
+		case c == '\'':
+			s, err := p.quoted()
+			if err != nil {
+				return nil, err
+			}
+			seg.Name = s
+		case c >= '0' && c <= '9':
+			n, err := p.number()
+			if err != nil {
+				return nil, p.error("bad index: %v", err)
+			}
+			seg.IsIndex, seg.Index = true, n
+		default:
+			id := p.ident()
+			if id == "" {
+				return nil, p.error("expected element name after '!'")
+			}
+			seg.Name = id
+		}
+		p.skipSpace()
+		if p.peek() == '@' {
+			p.pos++
+			p.skipSpace()
+			n, err := p.number()
+			if err != nil {
+				return nil, p.error("bad time after '@': %v", err)
+			}
+			seg.HasAt, seg.At = true, oop.Time(n)
+		}
+		e.Segs = append(e.Segs, seg)
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, p.error("trailing input")
+	}
+	return e, nil
+}
+
+// Env resolves the root variable of a path expression.
+type Env interface {
+	Resolve(name string) (oop.OOP, bool)
+}
+
+// MapEnv is an Env over a Go map.
+type MapEnv map[string]oop.OOP
+
+// Resolve implements Env.
+func (m MapEnv) Resolve(name string) (oop.OOP, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// GlobalsEnv resolves roots against the session's globals (World, class
+// names) with an optional overlay of local bindings.
+type GlobalsEnv struct {
+	Session *core.Session
+	Locals  map[string]oop.OOP
+}
+
+// Resolve implements Env.
+func (g GlobalsEnv) Resolve(name string) (oop.OOP, bool) {
+	if v, ok := g.Locals[name]; ok {
+		return v, true
+	}
+	return g.Session.Global(name)
+}
+
+func (s Segment) nameOOP(sess *core.Session) oop.OOP {
+	if s.IsIndex {
+		return oop.MustInt(s.Index)
+	}
+	return sess.Symbol(s.Name)
+}
+
+// Eval evaluates the path in the session's current view. Traversing a
+// missing element yields nil (and stops with nil, matching the model where
+// absent elements read as nil); traversing *through* nil is an error.
+func Eval(sess *core.Session, e *Expr, env Env) (oop.OOP, error) {
+	cur, ok := env.Resolve(e.Root)
+	if !ok {
+		return oop.Invalid, fmt.Errorf("path: unbound variable %q", e.Root)
+	}
+	for i, seg := range e.Segs {
+		if cur == oop.Nil {
+			return oop.Invalid, fmt.Errorf("path: %s is nil; cannot traverse %q", (&Expr{Root: e.Root, Segs: e.Segs[:i]}).String(), segLabel(seg))
+		}
+		if !cur.IsHeap() {
+			return oop.Invalid, fmt.Errorf("path: %s is a simple value; cannot traverse %q", (&Expr{Root: e.Root, Segs: e.Segs[:i]}).String(), segLabel(seg))
+		}
+		var v oop.OOP
+		var err error
+		if seg.HasAt {
+			v, _, err = sess.FetchAt(cur, seg.nameOOP(sess), seg.At)
+		} else {
+			v, _, err = sess.Fetch(cur, seg.nameOOP(sess))
+		}
+		if err != nil {
+			return oop.Invalid, err
+		}
+		cur = v
+	}
+	return cur, nil
+}
+
+func segLabel(s Segment) string {
+	if s.IsIndex {
+		return strconv.FormatInt(s.Index, 10)
+	}
+	return s.Name
+}
+
+// EvalString parses and evaluates src in one call.
+func EvalString(sess *core.Session, src string, env Env) (oop.OOP, error) {
+	e, err := Parse(src)
+	if err != nil {
+		return oop.Invalid, err
+	}
+	return Eval(sess, e, env)
+}
+
+// Assign evaluates all but the last segment and stores value at the last
+// ("allow assignments to path expressions", §4.3). The last segment may not
+// carry a temporal subscript: history is written only by commits.
+func Assign(sess *core.Session, e *Expr, env Env, value oop.OOP) error {
+	if len(e.Segs) == 0 {
+		return fmt.Errorf("path: cannot assign to bare variable %q", e.Root)
+	}
+	last := e.Segs[len(e.Segs)-1]
+	if last.HasAt {
+		return fmt.Errorf("path: cannot assign into a past state (@%d)", uint64(last.At))
+	}
+	prefix := &Expr{Root: e.Root, Segs: e.Segs[:len(e.Segs)-1]}
+	target, err := Eval(sess, prefix, env)
+	if err != nil {
+		return err
+	}
+	if !target.IsHeap() {
+		return fmt.Errorf("path: %s is not an object; cannot assign", prefix)
+	}
+	return sess.Store(target, last.nameOOP(sess), value)
+}
+
+// AssignString parses and assigns in one call.
+func AssignString(sess *core.Session, src string, env Env, value oop.OOP) error {
+	e, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	return Assign(sess, e, env, value)
+}

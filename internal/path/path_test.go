@@ -1,0 +1,257 @@
+package path
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/auth"
+	"repro/internal/core"
+	"repro/internal/oop"
+)
+
+func openSession(t *testing.T) (*core.DB, *core.Session) {
+	t.Helper()
+	db, err := core.Open(t.TempDir(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	s, err := db.NewSession(auth.SystemUser, "swordfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, s
+}
+
+func TestParseForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"X!Departments!A16!Managers", "X!Departments!A16!Managers"},
+		{"X!Employees!E62!Name", "X!Employees!E62!Name"},
+		{"World!'Acme Corp'!president", "World!'Acme Corp'!president"},
+		{"World!'Acme Corp'!president@10", "World!'Acme Corp'!president@10"},
+		{"World!'Acme Corp'!president@7!city", "World!'Acme Corp'!president@7!city"},
+		{"A!1!2", "A!1!2"},
+		{"x ! y @ 3", "x!y@3"},
+		{"x!'it''s'", "x!'it''s'"},
+	}
+	for _, c := range cases {
+		e, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "!x", "x!", "x!!y", "x!'unterminated", "x!y@", "x!y@abc", "x!y junk", "7!x",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	// Property: String() of a parsed expression reparses to the same form.
+	f := func(rootIdx uint8, names []uint8, times []uint8) bool {
+		roots := []string{"X", "World", "emp_1"}
+		nameSet := []string{"a", "Departments", "Acme Corp", "it's", "E62"}
+		src := roots[int(rootIdx)%len(roots)]
+		e1, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		_ = e1
+		b := strings.Builder{}
+		b.WriteString(src)
+		for i, n := range names {
+			name := nameSet[int(n)%len(nameSet)]
+			b.WriteByte('!')
+			if isIdent(name) {
+				b.WriteString(name)
+			} else {
+				b.WriteString("'" + strings.ReplaceAll(name, "'", "''") + "'")
+			}
+			if i < len(times) && times[i]%3 == 0 {
+				b.WriteString("@5")
+			}
+		}
+		full := b.String()
+		e, err := Parse(full)
+		if err != nil {
+			return false
+		}
+		e2, err := Parse(e.String())
+		if err != nil {
+			return false
+		}
+		return e.String() == e2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildAcme reproduces the §5.3.2 example graph and returns the session.
+func buildAcme(t *testing.T) (*core.Session, map[string]oop.OOP) {
+	db, s := openSession(t)
+	world, _ := s.Global("World")
+	acme, _ := s.NewObject(db.Kernel().Dictionary)
+	ayn, _ := s.NewObject(db.Kernel().Object)
+	milton, _ := s.NewObject(db.Kernel().Object)
+	clock, _ := s.NewObject(db.Kernel().Object)
+	_ = s.Store(world, s.Symbol("Acme Corp"), acme)
+	_ = s.Store(world, s.Symbol("__clock"), clock)
+	if _, err := s.Commit(); err != nil { // t=1
+		t.Fatal(err)
+	}
+	pad := func(until oop.Time) {
+		for s.DB().TxnManager().LastCommitted() < until-1 {
+			f, _ := s.DB().NewSession(auth.SystemUser, "swordfish")
+			_ = f.Store(clock, f.Symbol("t"), oop.MustInt(int64(s.DB().TxnManager().LastCommitted())))
+			if _, err := f.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pad(5)
+	_ = s.Store(acme, s.Symbol("president"), ayn)
+	if ct, err := s.Commit(); err != nil || ct != 5 {
+		t.Fatalf("t=5 commit: %v %v", ct, err)
+	}
+	pad(8)
+	_ = s.Store(acme, s.Symbol("president"), milton)
+	if ct, err := s.Commit(); err != nil || ct != 8 {
+		t.Fatalf("t=8 commit: %v %v", ct, err)
+	}
+	pad(11)
+	sd, _ := s.NewString("San Diego")
+	_ = s.Store(ayn, s.Symbol("city"), sd)
+	if ct, err := s.Commit(); err != nil || ct != 11 {
+		t.Fatalf("t=11 commit: %v %v", ct, err)
+	}
+	return s, map[string]oop.OOP{"acme": acme, "ayn": ayn, "milton": milton, "sandiego": sd}
+}
+
+func TestEvalPaperQueries(t *testing.T) {
+	s, objs := buildAcme(t)
+	env := GlobalsEnv{Session: s}
+	// World!'Acme Corp'!president -> Milton
+	v, err := EvalString(s, "World!'Acme Corp'!president", env)
+	if err != nil || v != objs["milton"] {
+		t.Errorf("current president: %v %v", v, err)
+	}
+	// @10 -> Milton; @7 -> Ayn
+	if v, _ := EvalString(s, "World!'Acme Corp'!president@10", env); v != objs["milton"] {
+		t.Error("president@10")
+	}
+	if v, _ := EvalString(s, "World!'Acme Corp'!president@7", env); v != objs["ayn"] {
+		t.Error("president@7")
+	}
+	// The paper's mixed query: previous president's *current* city.
+	if v, _ := EvalString(s, "World!'Acme Corp'!president@7!city", env); v != objs["sandiego"] {
+		t.Error("president@7!city should be San Diego")
+	}
+}
+
+func TestEvalMissingAndErrors(t *testing.T) {
+	s, _ := buildAcme(t)
+	env := GlobalsEnv{Session: s}
+	// Missing element evaluates to nil.
+	v, err := EvalString(s, "World!'Acme Corp'!treasurer", env)
+	if err != nil || v != oop.Nil {
+		t.Errorf("missing element: %v %v", v, err)
+	}
+	// Traversing through nil errors.
+	if _, err := EvalString(s, "World!'Acme Corp'!treasurer!name", env); err == nil {
+		t.Error("traverse through nil should fail")
+	}
+	// Unbound root.
+	if _, err := EvalString(s, "Nowhere!x", env); err == nil {
+		t.Error("unbound root should fail")
+	}
+	// Traversing through a simple value errors.
+	world, _ := s.Global("World")
+	_ = s.Store(world, s.Symbol("n"), oop.MustInt(5))
+	if _, err := EvalString(s, "World!n!x", env); err == nil {
+		t.Error("traverse through SmallInteger should fail")
+	}
+}
+
+func TestEvalIndexedSegments(t *testing.T) {
+	db, s := openSession(t)
+	world, _ := s.Global("World")
+	arr, _ := s.NewObject(db.Kernel().Array)
+	_ = s.Store(arr, oop.MustInt(1), oop.MustInt(10))
+	_ = s.Store(arr, oop.MustInt(2), oop.MustInt(20))
+	_ = s.Store(world, s.Symbol("A"), arr)
+	if _, err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	env := GlobalsEnv{Session: s}
+	if v, err := EvalString(s, "World!A!2", env); err != nil || v != oop.MustInt(20) {
+		t.Errorf("A!2 = %v %v", v, err)
+	}
+}
+
+func TestAssign(t *testing.T) {
+	s, objs := buildAcme(t)
+	env := GlobalsEnv{Session: s}
+	// Paper: assignment to a path circumvents class protocol.
+	if err := AssignString(s, "World!'Acme Corp'!budget", env, oop.MustInt(142000)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := EvalString(s, "World!'Acme Corp'!budget", env); v != oop.MustInt(142000) {
+		t.Error("assigned value not readable")
+	}
+	if _, err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Assignment through a multi-segment path.
+	if err := AssignString(s, "World!'Acme Corp'!president!title", env, oop.MustInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := EvalString(s, "World!'Acme Corp'!president!title", env); v != oop.MustInt(1) {
+		t.Error("nested assignment failed")
+	}
+	_ = objs
+	// Errors: bare variable, temporal target.
+	if err := AssignString(s, "World", env, oop.Nil); err == nil {
+		t.Error("assign to bare variable should fail")
+	}
+	if err := AssignString(s, "World!'Acme Corp'!president@7", env, oop.Nil); err == nil {
+		t.Error("assign into the past should fail")
+	}
+}
+
+func TestLocalsOverlay(t *testing.T) {
+	s, objs := buildAcme(t)
+	env := GlobalsEnv{Session: s, Locals: map[string]oop.OOP{"e": objs["ayn"]}}
+	if v, err := EvalString(s, "e!city", env); err != nil || v != objs["sandiego"] {
+		t.Errorf("local root: %v %v", v, err)
+	}
+	// Locals shadow globals.
+	env.Locals["World"] = objs["acme"]
+	if v, _ := EvalString(s, "World!president", env); v != objs["milton"] {
+		t.Error("local shadow failed")
+	}
+}
+
+func TestMapEnv(t *testing.T) {
+	m := MapEnv{"x": oop.MustInt(1)}
+	if v, ok := m.Resolve("x"); !ok || v != oop.MustInt(1) {
+		t.Error("MapEnv resolve")
+	}
+	if _, ok := m.Resolve("y"); ok {
+		t.Error("MapEnv should miss y")
+	}
+}

@@ -1,0 +1,208 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperRelationExample reproduces the §5.2 A-B-C relation.
+func TestPaperRelationExample(t *testing.T) {
+	r := New("R", "A", "B", "C")
+	if err := r.Insert(int64(1), int64(3), int64(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Insert(int64(1), int64(5), int64(4)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Arity() != 3 {
+		t.Fatal("shape wrong")
+	}
+	got := r.String()
+	if !strings.Contains(got, "A | B | C") || !strings.Contains(got, "1 | 3 | 4") {
+		t.Errorf("render:\n%s", got)
+	}
+}
+
+// TestChildrenFlattening reproduces the §5.2 Robert Peters example: the
+// children set flattened to three tuples, then reassembled.
+func TestChildrenFlattening(t *testing.T) {
+	r := New("Children", "FirstName", "LastName", "Child")
+	scalars := []Value{"Robert", "Peters"}
+	if err := FlattenSetValued(r, scalars, []Value{"Olivia", "Dale", "Paul"}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("rows = %d, want 3 (one per child)", r.Len())
+	}
+	// The redundancy the paper points out: the parent's name is repeated
+	// three times.
+	repeats := 0
+	for _, tup := range r.Rows() {
+		if tup[0] == "Robert" {
+			repeats++
+		}
+	}
+	if repeats != 3 {
+		t.Errorf("name repeated %d times, want 3", repeats)
+	}
+	// Reassembly recovers the set.
+	kids := CollectSetValued(r, scalars)
+	if len(kids) != 3 {
+		t.Errorf("collected %d children", len(kids))
+	}
+}
+
+func TestSelectProjectJoin(t *testing.T) {
+	emp := New("Employees", "EmpName", "Dept", "Salary")
+	_ = emp.Insert("Burns", "Marketing", int64(24650))
+	_ = emp.Insert("Peters", "Sales", int64(24000))
+	_ = emp.Insert("Hopper", "Sales", int64(15000))
+	dept := New("Departments", "Dept", "Budget")
+	_ = dept.Insert("Sales", int64(142000))
+	_ = dept.Insert("Marketing", int64(50000))
+
+	sel := emp.Select(func(t Tuple) bool { return t[2].(int64) > 20000 })
+	if sel.Len() != 2 {
+		t.Errorf("select = %d rows", sel.Len())
+	}
+	proj, err := emp.Project("Dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Len() != 2 { // duplicates eliminated
+		t.Errorf("project = %d rows", proj.Len())
+	}
+	j, err := emp.Join(dept, "Dept", "Dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 3 || j.Arity() != 4 {
+		t.Errorf("join = %dx%d", j.Len(), j.Arity())
+	}
+	// The join recovers the budget for each employee.
+	for _, tup := range j.Rows() {
+		b, err := j.Get(tup, "Budget")
+		if err != nil || b == nil {
+			t.Errorf("budget missing: %v %v", b, err)
+		}
+	}
+}
+
+func TestUpdateAnomaly(t *testing.T) {
+	// §2.D: "What happens when we want to change the department name?"
+	// With logical pointers the key must be rewritten in every referring
+	// tuple.
+	emp := New("Employees", "EmpName", "Dept")
+	for i := 0; i < 100; i++ {
+		_ = emp.Insert("e", "Sales")
+	}
+	dept := New("Departments", "Dept", "Budget")
+	_ = dept.Insert("Sales", int64(1))
+	n, err := emp.UpdateWhere("Dept", "Sales", "Dept", "Selling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dept.UpdateWhere("Dept", "Sales", "Dept", "Selling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 || m != 1 {
+		t.Errorf("touched %d + %d tuples", n, m)
+	}
+	if got, _ := emp.SelectEq("Dept", "Sales"); got.Len() != 0 {
+		t.Error("stale department names remain")
+	}
+}
+
+func TestIndexedSelect(t *testing.T) {
+	r := New("R", "K", "V")
+	for i := int64(0); i < 1000; i++ {
+		_ = r.Insert(i, i*10)
+	}
+	if err := r.CreateIndex("K"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.SelectEq("K", int64(500))
+	if err != nil || got.Len() != 1 {
+		t.Fatalf("indexed select: %v (%v)", got.Len(), err)
+	}
+	// Inserts maintain the index.
+	_ = r.Insert(int64(500), int64(9))
+	got, _ = r.SelectEq("K", int64(500))
+	if got.Len() != 2 {
+		t.Errorf("after insert: %d", got.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := New("R", "K")
+	for i := int64(0); i < 10; i++ {
+		_ = r.Insert(i)
+	}
+	n := r.Delete(func(t Tuple) bool { return t[0].(int64)%2 == 0 })
+	if n != 5 || r.Len() != 5 {
+		t.Errorf("deleted %d, left %d", n, r.Len())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	r := New("R", "A")
+	if err := r.Insert(int64(1), int64(2)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := r.Get(Tuple{int64(1)}, "B"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := r.Project("B"); err == nil {
+		t.Error("project unknown attr")
+	}
+	if _, err := r.Join(New("S", "X"), "A", "Y"); err == nil {
+		t.Error("join on unknown attr")
+	}
+}
+
+func TestFlattenCollectRoundTripProperty(t *testing.T) {
+	f := func(kids []string, first, last string) bool {
+		r := New("C", "F", "L", "Child")
+		scalars := []Value{first, last}
+		members := make([]Value, len(kids))
+		for i, k := range kids {
+			members[i] = k
+		}
+		if FlattenSetValued(r, scalars, members) != nil {
+			return false
+		}
+		back := CollectSetValued(r, scalars)
+		if len(back) != len(kids) {
+			return false
+		}
+		for i := range back {
+			if back[i] != members[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinNameCollision(t *testing.T) {
+	a := New("A", "K", "V")
+	b := New("B", "K", "V")
+	_ = a.Insert(int64(1), "left")
+	_ = b.Insert(int64(1), "right")
+	j, err := a.Join(b, "K", "K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Arity() != 3 {
+		t.Fatalf("arity = %d", j.Arity())
+	}
+	v, err := j.Get(j.Rows()[0], "B.V")
+	if err != nil || v != "right" {
+		t.Errorf("renamed attr = %v (%v)", v, err)
+	}
+}

@@ -1,0 +1,183 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/oop"
+)
+
+// Object record wire format (little-endian):
+//
+//	magic   uint32  'GSOB'
+//	oop     uint64
+//	class   uint64
+//	seg     uint32
+//	format  uint8
+//	payload:
+//	  FormatBytes:  nVersions uint32 { time uint64; len uint32; bytes }
+//	  otherwise:    nElems    uint32 { name uint64; nAssocs uint32 { time uint64; value uint64 } }
+//
+// Records are self-delimiting; the object table stores their lengths.
+const recordMagic = 0x424F5347 // "GSOB"
+
+// EncodeObject serializes ob, appending to dst.
+func EncodeObject(dst []byte, ob *object.Object) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, recordMagic)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ob.OOP))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ob.Class))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(ob.Seg))
+	dst = append(dst, byte(ob.Format))
+	if ob.Format == object.FormatBytes {
+		vs := ob.ByteVersions()
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(vs)))
+		for _, v := range vs {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v.T))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v.Bytes)))
+			dst = append(dst, v.Bytes...)
+		}
+		return dst
+	}
+	elems := ob.Elements()
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(elems)))
+	for i := range elems {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(elems[i].Name))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(elems[i].Hist)))
+		for _, a := range elems[i].Hist {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(a.T))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(a.Value))
+		}
+	}
+	return dst
+}
+
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) need(n int) error {
+	if d.off+n > len(d.b) {
+		return fmt.Errorf("store: truncated object record at offset %d (need %d of %d)", d.off, n, len(d.b))
+	}
+	return nil
+}
+
+func (d *decoder) u8() (byte, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if err := d.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if err := d.need(n); err != nil {
+		return nil, err
+	}
+	v := d.b[d.off : d.off+n : d.off+n]
+	d.off += n
+	return v, nil
+}
+
+// DecodeObject parses one object record from b.
+func DecodeObject(b []byte) (*object.Object, error) {
+	d := &decoder{b: b}
+	magic, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != recordMagic {
+		return nil, fmt.Errorf("store: bad object record magic %#x", magic)
+	}
+	o, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	class, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	seg, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	format, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	ob := object.New(oop.OOP(o), oop.OOP(class), object.SegmentID(seg), object.Format(format))
+	if object.Format(format) == object.FormatBytes {
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			t, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			ln, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			payload, err := d.bytes(int(ln))
+			if err != nil {
+				return nil, err
+			}
+			if err := ob.SetBytes(oop.Time(t), append([]byte(nil), payload...)); err != nil {
+				return nil, err
+			}
+		}
+		return ob, nil
+	}
+	nElems, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nElems; i++ {
+		name, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		nAssoc, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		el := ob.EnsureElement(oop.OOP(name))
+		for j := uint32(0); j < nAssoc; j++ {
+			t, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			if err := el.Record(oop.Time(t), oop.OOP(v)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ob, nil
+}

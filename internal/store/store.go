@@ -1,0 +1,655 @@
+// Package store is the secondary-storage half of the Object Manager
+// (paper §6): the Track Manager (whole-track replicated I/O), the Boxer
+// (fitting serialized objects into tracks), the Commit Manager (atomic
+// "safe writing" of track groups via alternating superblocks), and the
+// global object table mapping OOP serials to track locations.
+//
+// Commits are shadow-paged: data tracks, object-table pages and the table
+// directory are always written to freshly allocated tracks, and the commit
+// becomes visible only when the alternate superblock — carrying the new
+// epoch, table directory location, root, transaction time and serial
+// high-water — is written. A crash at any earlier point leaves the previous
+// superblock, and therefore the previous database state, fully intact:
+// "all the tracks in the group get written, or none get written" (§6).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/object"
+	"repro/internal/oop"
+)
+
+// Options configures a Store.
+type Options struct {
+	TrackSize   int // bytes per track; default 8192
+	Replicas    int // replica files; default 1
+	CacheTracks int // in-memory track cache capacity; default 256
+
+	// FailPoint, when non-nil, is consulted at each named step of the
+	// commit protocol. Returning an error simulates a crash at that step:
+	// the commit stops immediately with partial writes on disk. Used by the
+	// recovery experiments (C6).
+	FailPoint func(step string) error
+}
+
+func (o Options) withDefaults() Options {
+	if o.TrackSize == 0 {
+		o.TrackSize = 8192
+	}
+	if o.Replicas == 0 {
+		o.Replicas = 1
+	}
+	if o.CacheTracks == 0 {
+		o.CacheTracks = 256
+	}
+	return o
+}
+
+// Meta is the durable database metadata carried by the superblock.
+type Meta struct {
+	Epoch      uint64   // commit counter; highest valid superblock wins
+	LastTime   oop.Time // latest committed transaction time
+	NextSerial uint64   // OOP serial high-water mark
+	Root       oop.OOP  // the distinguished root object ("World")
+}
+
+// Locator is an object-table entry: where an object record lives.
+type Locator struct {
+	Track  uint32
+	Offset uint32
+	Length uint32
+	Flags  uint32
+}
+
+const (
+	locatorLen   = 16
+	flagArchived = 1 // moved to offline media by an administrator (§6)
+)
+
+// ErrNotFound reports a serial with no object-table entry.
+var ErrNotFound = errors.New("store: object not found")
+
+// ErrArchived reports an object moved to offline media.
+var ErrArchived = errors.New("store: object archived to offline media")
+
+// ErrCrashed is wrapped by commit errors produced by an injected FailPoint.
+var ErrCrashed = errors.New("store: simulated crash")
+
+// Store is the persistent object repository.
+type Store struct {
+	mu    sync.Mutex
+	tm    *TrackManager
+	opts  Options
+	meta  Meta
+	super uint32 // track number of the *next* superblock slot to write (0 or 1)
+
+	pageTracks      []uint32          // table directory: page index -> track
+	pageCache       map[int][]Locator // parsed object-table pages
+	archive         map[uint64][]byte // offline media simulation: serial -> record
+	dirTrackPending uint32            // directory chain head for the superblock being written
+	entriesPerPage  int
+}
+
+// Commit is one atomic batch of changes.
+type Commit struct {
+	Objects    []*object.Object // full current state of every written object
+	Root       oop.OOP          // new root, or Invalid to keep current
+	NextSerial uint64           // serial high-water after this commit
+	Time       oop.Time         // the assigned transaction time
+
+	// ArchiveSerials marks these serials as moved to offline media without
+	// rewriting their records (administrative archival, §6).
+	ArchiveSerials []uint64
+}
+
+// Open opens or creates a database under dir.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	tm, err := NewTrackManager(dir, opts.TrackSize, opts.Replicas, opts.CacheTracks)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		tm:        tm,
+		opts:      opts,
+		pageCache: make(map[int][]Locator),
+		archive:   make(map[uint64][]byte),
+	}
+	s.entriesPerPage = tm.PayloadSize() / locatorLen
+	if tm.Tracks() == 0 {
+		if err := s.initialize(); err != nil {
+			tm.Close()
+			return nil, err
+		}
+		return s, nil
+	}
+	if err := s.recover(); err != nil {
+		tm.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// initialize lays out a fresh database: two superblock tracks and an empty
+// table.
+func (s *Store) initialize() error {
+	s.tm.Allocate(2) // tracks 0 and 1: the alternating superblock slots
+	s.meta = Meta{Epoch: 1, LastTime: 0, NextSerial: 1, Root: oop.Invalid}
+	s.super = 1 // epoch 1 goes to slot 0; writeSuper flips from s.super
+	if err := s.writeSuperblock(); err != nil {
+		return err
+	}
+	return s.tm.Sync()
+}
+
+// Superblock payload layout:
+//
+//	crcLen-prefixed region:
+//	magic u32 | epoch u64 | lastTime u64 | nextSerial u64 | root u64 |
+//	nTracks u32 | nPages u32 | dirTrack u32 (first directory track; 0 none)
+//	| crc u32 at fixed tail of region
+const superMagic = 0x50555347                          // "GSUP"
+const superLen = 4 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 // ... + trackSize + crc
+
+func (s *Store) encodeSuperblock() []byte {
+	b := make([]byte, superLen)
+	putU32(b[0:], superMagic)
+	putU64(b[4:], s.meta.Epoch)
+	putU64(b[12:], uint64(s.meta.LastTime))
+	putU64(b[20:], s.meta.NextSerial)
+	putU64(b[28:], uint64(s.meta.Root))
+	putU32(b[36:], s.tm.Tracks())
+	putU32(b[40:], uint32(len(s.pageTracks)))
+	dirTrack := uint32(0)
+	if len(s.pageTracks) > 0 {
+		dirTrack = s.dirTrackPending
+	}
+	putU32(b[44:], dirTrack)
+	putU32(b[48:], uint32(s.opts.TrackSize))
+	putU32(b[52:], crc32.ChecksumIEEE(b[:52]))
+	return b
+}
+
+func (s *Store) writeSuperblock() error {
+	slot := 1 - s.super // alternate
+	if err := s.tm.WriteTrack(slot, s.encodeSuperblock()); err != nil {
+		return err
+	}
+	if err := s.tm.Sync(); err != nil {
+		return err
+	}
+	s.super = slot
+	return nil
+}
+
+type superblock struct {
+	meta     Meta
+	nTracks  uint32
+	nPages   uint32
+	dirTrack uint32
+	slot     uint32
+}
+
+func parseSuperblock(b []byte, slot uint32) (superblock, bool) {
+	if len(b) < superLen || getU32(b[0:]) != superMagic {
+		return superblock{}, false
+	}
+	if crc32.ChecksumIEEE(b[:52]) != getU32(b[52:]) {
+		return superblock{}, false
+	}
+	return superblock{
+		meta: Meta{
+			Epoch:      getU64(b[4:]),
+			LastTime:   oop.Time(getU64(b[12:])),
+			NextSerial: getU64(b[20:]),
+			Root:       oop.OOP(getU64(b[28:])),
+		},
+		nTracks:  getU32(b[36:]),
+		nPages:   getU32(b[40:]),
+		dirTrack: getU32(b[44:]),
+		slot:     slot,
+	}, true
+}
+
+// recover selects the newest valid superblock and rebuilds the table
+// directory from it. This is the entire crash-recovery procedure: shadow
+// paging means there is no log to replay.
+func (s *Store) recover() error {
+	var best superblock
+	found := false
+	for slot := uint32(0); slot < 2; slot++ {
+		payload, err := s.tm.ReadTrack(slot)
+		if err != nil {
+			continue
+		}
+		if sb, ok := parseSuperblock(payload, slot); ok {
+			if !found || sb.meta.Epoch > best.meta.Epoch {
+				best, found = sb, true
+			}
+		}
+	}
+	if !found {
+		// A common cause is opening with a different track size than the
+		// database was created with: the superblock sits at a fixed offset,
+		// so read it raw to produce an actionable error.
+		if stored, ok := s.probeStoredTrackSize(); ok && stored != uint32(s.opts.TrackSize) {
+			return fmt.Errorf("store: database was created with track size %d, opened with %d", stored, s.opts.TrackSize)
+		}
+		return errors.New("store: no valid superblock; database unrecoverable")
+	}
+	s.meta = best.meta
+	s.super = best.slot
+	// Trust the committed high-water mark, not the file size: tracks past it
+	// are debris from an interrupted commit and may be overwritten.
+	s.tm.mu.Lock()
+	s.tm.nTracks = best.nTracks
+	s.tm.mu.Unlock()
+	s.pageTracks = nil
+	s.pageCache = make(map[int][]Locator)
+	if best.nPages > 0 {
+		tracks, err := s.readDirectoryChain(best.dirTrack, int(best.nPages))
+		if err != nil {
+			return err
+		}
+		s.pageTracks = tracks
+	}
+	return nil
+}
+
+// Directory chain track layout: count u32 | next u32 | count page-track u32s.
+func (s *Store) readDirectoryChain(first uint32, nPages int) ([]uint32, error) {
+	tracks := make([]uint32, 0, nPages)
+	cur := first
+	for cur != 0 && len(tracks) < nPages {
+		p, err := s.tm.ReadTrack(cur)
+		if err != nil {
+			return nil, fmt.Errorf("store: table directory unreadable: %w", err)
+		}
+		count := int(getU32(p[0:]))
+		next := getU32(p[4:])
+		for i := 0; i < count; i++ {
+			tracks = append(tracks, getU32(p[8+4*i:]))
+		}
+		cur = next
+	}
+	if len(tracks) != nPages {
+		return nil, fmt.Errorf("store: table directory truncated: %d of %d pages", len(tracks), nPages)
+	}
+	return tracks, nil
+}
+
+// probeStoredTrackSize reads the raw head of the primary replica and pulls
+// the track size recorded in superblock slot 0, bypassing checksums.
+func (s *Store) probeStoredTrackSize() (uint32, bool) {
+	s.tm.mu.Lock()
+	defer s.tm.mu.Unlock()
+	if len(s.tm.replicas) == 0 {
+		return 0, false
+	}
+	buf := make([]byte, trackHeaderLen+superLen)
+	if _, err := s.tm.replicas[0].ReadAt(buf, 0); err != nil {
+		return 0, false
+	}
+	if getU32(buf[trackHeaderLen:]) != superMagic {
+		return 0, false
+	}
+	return getU32(buf[trackHeaderLen+48:]), true
+}
+
+// Meta returns the durable metadata of the last committed state.
+func (s *Store) Meta() Meta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.meta
+}
+
+// TrackManager exposes the underlying device for statistics and damage
+// injection in experiments.
+func (s *Store) TrackManager() *TrackManager { return s.tm }
+
+// Close releases the store.
+func (s *Store) Close() error { return s.tm.Close() }
+
+func (s *Store) failpoint(step string) error {
+	if s.opts.FailPoint == nil {
+		return nil
+	}
+	if err := s.opts.FailPoint(step); err != nil {
+		return fmt.Errorf("%w at %q: %v", ErrCrashed, step, err)
+	}
+	return nil
+}
+
+// loadPage returns the parsed object-table page with the given index,
+// using the cache.
+func (s *Store) loadPage(idx int) ([]Locator, error) {
+	if p, ok := s.pageCache[idx]; ok {
+		return p, nil
+	}
+	if idx >= len(s.pageTracks) {
+		return nil, ErrNotFound
+	}
+	raw, err := s.tm.ReadTrack(s.pageTracks[idx])
+	if err != nil {
+		return nil, err
+	}
+	page := make([]Locator, s.entriesPerPage)
+	for i := 0; i < s.entriesPerPage; i++ {
+		off := i * locatorLen
+		page[i] = Locator{
+			Track:  getU32(raw[off:]),
+			Offset: getU32(raw[off+4:]),
+			Length: getU32(raw[off+8:]),
+			Flags:  getU32(raw[off+12:]),
+		}
+	}
+	s.pageCache[idx] = page
+	return page, nil
+}
+
+// locate returns the Locator for a serial.
+func (s *Store) locate(serial uint64) (Locator, error) {
+	if serial == 0 {
+		return Locator{}, ErrNotFound
+	}
+	idx := int((serial - 1) / uint64(s.entriesPerPage))
+	page, err := s.loadPage(idx)
+	if err != nil {
+		return Locator{}, err
+	}
+	loc := page[(serial-1)%uint64(s.entriesPerPage)]
+	if loc.Length == 0 {
+		return Locator{}, ErrNotFound
+	}
+	return loc, nil
+}
+
+// Load reads, decodes and returns the object with the given OOP from the
+// committed state.
+func (s *Store) Load(o oop.OOP) (*object.Object, error) {
+	if !o.IsHeap() {
+		return nil, fmt.Errorf("store: cannot load immediate %v", o)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	loc, err := s.locate(o.Serial())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", err, o)
+	}
+	if loc.Flags&flagArchived != 0 {
+		raw, ok := s.archive[o.Serial()]
+		if !ok {
+			return nil, fmt.Errorf("%w: %v", ErrArchived, o)
+		}
+		return DecodeObject(raw)
+	}
+	raw, err := s.tm.ReadRange(loc.Track, int(loc.Offset), int(loc.Length))
+	if err != nil {
+		return nil, err
+	}
+	ob, err := DecodeObject(raw)
+	if err != nil {
+		return nil, err
+	}
+	if ob.OOP != o {
+		return nil, fmt.Errorf("store: object table corruption: wanted %v, record holds %v", o, ob.OOP)
+	}
+	return ob, nil
+}
+
+// Exists reports whether the committed state holds an object for o.
+func (s *Store) Exists(o oop.OOP) bool {
+	if !o.IsHeap() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.locate(o.Serial())
+	return err == nil
+}
+
+// Apply runs the commit protocol for one batch. On success the batch is
+// durable and visible; on any error (including injected crashes) the
+// previous state remains the recoverable one.
+func (s *Store) Apply(c Commit) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// --- Boxer: pack serialized records contiguously into fresh tracks ---
+	payload := s.tm.PayloadSize()
+	var buf []byte
+	type placed struct {
+		serial uint64
+		off    int
+		length int
+	}
+	places := make([]placed, 0, len(c.Objects))
+	for _, ob := range c.Objects {
+		start := len(buf)
+		buf = EncodeObject(buf, ob)
+		places = append(places, placed{ob.OOP.Serial(), start, len(buf) - start})
+	}
+	nData := (len(buf) + payload - 1) / payload
+	firstData := s.tm.Allocate(nData)
+	group := make(map[uint32][]byte, nData)
+	for i := 0; i < nData; i++ {
+		lo := i * payload
+		hi := lo + payload
+		if hi > len(buf) {
+			hi = len(buf)
+		}
+		group[firstData+uint32(i)] = buf[lo:hi]
+	}
+	if err := s.failpoint("before-data"); err != nil {
+		return err
+	}
+	if err := s.tm.WriteGroup(group); err != nil {
+		return err
+	}
+	if err := s.failpoint("after-data"); err != nil {
+		return err
+	}
+
+	// --- Object table: copy-on-write the affected pages ---
+	newLocators := make(map[uint64]Locator, len(places))
+	for _, p := range places {
+		newLocators[p.serial] = Locator{
+			Track:  firstData + uint32(p.off/payload),
+			Offset: uint32(p.off % payload),
+			Length: uint32(p.length),
+		}
+	}
+	maxSerial := s.meta.NextSerial
+	if c.NextSerial > maxSerial {
+		maxSerial = c.NextSerial
+	}
+	neededPages := int((maxSerial - 1 + uint64(s.entriesPerPage) - 1) / uint64(s.entriesPerPage))
+	if maxSerial <= 1 {
+		neededPages = 0
+	}
+	newPageTracks := append([]uint32(nil), s.pageTracks...)
+	for len(newPageTracks) < neededPages {
+		newPageTracks = append(newPageTracks, 0) // fresh empty page
+	}
+	dirty := make(map[int][]Locator)
+	pageOf := func(serial uint64) (int, int) {
+		return int((serial - 1) / uint64(s.entriesPerPage)), int((serial - 1) % uint64(s.entriesPerPage))
+	}
+	ensureDirty := func(idx int) ([]Locator, error) {
+		if page, ok := dirty[idx]; ok {
+			return page, nil
+		}
+		var page []Locator
+		if idx < len(s.pageTracks) && newPageTracks[idx] != 0 {
+			orig, err := s.loadPage(idx)
+			if err != nil {
+				return nil, err
+			}
+			page = append([]Locator(nil), orig...)
+		} else {
+			page = make([]Locator, s.entriesPerPage)
+		}
+		dirty[idx] = page
+		return page, nil
+	}
+	for serial, loc := range newLocators {
+		idx, slot := pageOf(serial)
+		page, err := ensureDirty(idx)
+		if err != nil {
+			return err
+		}
+		page[slot] = loc
+	}
+	for _, serial := range c.ArchiveSerials {
+		idx, slot := pageOf(serial)
+		page, err := ensureDirty(idx)
+		if err != nil {
+			return err
+		}
+		page[slot].Flags |= flagArchived
+	}
+	// Fresh pages beyond the old table that received no locator still need
+	// allocation (all-empty pages), so every page index has a track.
+	for idx := range newPageTracks {
+		if newPageTracks[idx] == 0 {
+			if _, ok := dirty[idx]; !ok {
+				dirty[idx] = make([]Locator, s.entriesPerPage)
+			}
+		}
+	}
+	pageGroup := make(map[uint32][]byte, len(dirty))
+	for idx, page := range dirty {
+		tr := s.tm.Allocate(1)
+		newPageTracks[idx] = tr
+		raw := make([]byte, s.entriesPerPage*locatorLen)
+		for i, loc := range page {
+			off := i * locatorLen
+			putU32(raw[off:], loc.Track)
+			putU32(raw[off+4:], loc.Offset)
+			putU32(raw[off+8:], loc.Length)
+			putU32(raw[off+12:], loc.Flags)
+		}
+		pageGroup[tr] = raw
+	}
+	if err := s.tm.WriteGroup(pageGroup); err != nil {
+		return err
+	}
+	if err := s.failpoint("after-table"); err != nil {
+		return err
+	}
+
+	// --- Table directory chain ---
+	perDir := (payload - 8) / 4
+	var dirHead uint32
+	if len(newPageTracks) > 0 {
+		nDir := (len(newPageTracks) + perDir - 1) / perDir
+		firstDir := s.tm.Allocate(nDir)
+		dirGroup := make(map[uint32][]byte, nDir)
+		for i := 0; i < nDir; i++ {
+			lo := i * perDir
+			hi := lo + perDir
+			if hi > len(newPageTracks) {
+				hi = len(newPageTracks)
+			}
+			raw := make([]byte, 8+4*(hi-lo))
+			putU32(raw[0:], uint32(hi-lo))
+			next := uint32(0)
+			if i+1 < nDir {
+				next = firstDir + uint32(i) + 1
+			}
+			putU32(raw[4:], next)
+			for j := lo; j < hi; j++ {
+				putU32(raw[8+4*(j-lo):], newPageTracks[j])
+			}
+			dirGroup[firstDir+uint32(i)] = raw
+		}
+		if err := s.tm.WriteGroup(dirGroup); err != nil {
+			return err
+		}
+		dirHead = firstDir
+	}
+	if err := s.failpoint("after-directory"); err != nil {
+		return err
+	}
+	if err := s.tm.Sync(); err != nil {
+		return err
+	}
+
+	// --- Commit point: flip the superblock ---
+	newMeta := s.meta
+	newMeta.Epoch++
+	if c.Time > newMeta.LastTime {
+		newMeta.LastTime = c.Time // never regress on out-of-band system commits
+	}
+	newMeta.NextSerial = maxSerial
+	if c.Root != oop.Invalid {
+		newMeta.Root = c.Root
+	}
+	oldMeta, oldPages := s.meta, s.pageTracks
+	s.meta = newMeta
+	s.pageTracks = newPageTracks
+	s.dirTrackPending = dirHead
+	if err := s.failpoint("before-superblock"); err != nil {
+		s.meta, s.pageTracks = oldMeta, oldPages
+		return err
+	}
+	if err := s.writeSuperblock(); err != nil {
+		s.meta, s.pageTracks = oldMeta, oldPages
+		return err
+	}
+	// The new pages supersede cached copies.
+	for idx, page := range dirty {
+		s.pageCache[idx] = page
+	}
+	return nil
+}
+
+// Archive moves the objects with the given OOPs to the simulated offline
+// medium ("A database administrator can explicitly move objects to other
+// media", §6). The records are copied to the archive and the object-table
+// entries are flagged through the normal commit protocol; subsequent Loads
+// consult the archive. "Hence, while conceptually the entire history of the
+// database exists, some objects in it may become temporarily or permanently
+// inaccessible" — detaching the archive (DetachArchive) makes Load return
+// ErrArchived.
+func (s *Store) Archive(t oop.Time, oops []oop.OOP) error {
+	s.mu.Lock()
+	serials := make([]uint64, 0, len(oops))
+	for _, o := range oops {
+		loc, err := s.locate(o.Serial())
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		raw, err := s.tm.ReadRange(loc.Track, int(loc.Offset), int(loc.Length))
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.archive[o.Serial()] = raw
+		serials = append(serials, o.Serial())
+	}
+	next := s.meta.NextSerial
+	s.mu.Unlock()
+	return s.Apply(Commit{Time: t, NextSerial: next, ArchiveSerials: serials})
+}
+
+// DetachArchive simulates dismounting the offline medium.
+func (s *Store) DetachArchive() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.archive = make(map[uint64][]byte)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
+
+func getU64(b []byte) uint64 {
+	return uint64(getU32(b)) | uint64(getU32(b[4:]))<<32
+}

@@ -1,0 +1,306 @@
+package store
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// TrackManager performs whole-track I/O against a set of replica files,
+// reproducing the paper's device model: "Disk access will always be by
+// entire tracks, as a track is the natural unit of physical access"
+// (§6). Writes go to every replica; reads validate a per-track checksum and
+// fall back to the next replica on damage, which is the paper's "requests
+// for replication of data".
+//
+// Write scheduling sorts each group by ascending track number — the
+// elevator pass a real controller would make — and the manager keeps seek
+// statistics so benchmarks can report scheduling effects.
+type TrackManager struct {
+	trackSize int
+	payload   int // trackSize minus checksum header
+
+	mu       sync.Mutex
+	replicas []*os.File
+	paths    []string
+	nTracks  uint32 // allocation high-water mark
+	lastPos  uint32 // last track touched, for seek accounting
+	cache    map[uint32][]byte
+	cacheCap int
+
+	stats TrackStats
+}
+
+// TrackStats counts physical I/O for benchmark reporting.
+type TrackStats struct {
+	Reads            uint64 // track reads that went to a device
+	Writes           uint64 // per-replica track writes
+	CacheHits        uint64
+	ReplicaFallbacks uint64 // reads salvaged from a later replica
+	SeekDistance     uint64 // cumulative |Δtrack| across device accesses
+}
+
+const trackHeaderLen = 8      // crc32 (4) + magic (4)
+const trackMagic = 0x4B525447 // "GTRK"
+
+// NewTrackManager opens (creating if needed) nReplicas files under dir.
+func NewTrackManager(dir string, trackSize, nReplicas, cacheTracks int) (*TrackManager, error) {
+	if trackSize < 512 {
+		return nil, fmt.Errorf("store: track size %d too small", trackSize)
+	}
+	if nReplicas < 1 {
+		nReplicas = 1
+	}
+	tm := &TrackManager{
+		trackSize: trackSize,
+		payload:   trackSize - trackHeaderLen,
+		cache:     make(map[uint32][]byte),
+		cacheCap:  cacheTracks,
+	}
+	for i := 0; i < nReplicas; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("replica%d.gs", i))
+		f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			tm.Close()
+			return nil, fmt.Errorf("store: open replica: %w", err)
+		}
+		tm.replicas = append(tm.replicas, f)
+		tm.paths = append(tm.paths, p)
+	}
+	// Recover the high-water mark from the primary's size.
+	st, err := tm.replicas[0].Stat()
+	if err != nil {
+		tm.Close()
+		return nil, err
+	}
+	tm.nTracks = uint32(st.Size() / int64(trackSize))
+	return tm, nil
+}
+
+// PayloadSize returns usable bytes per track.
+func (tm *TrackManager) PayloadSize() int { return tm.payload }
+
+// Tracks returns the allocation high-water mark.
+func (tm *TrackManager) Tracks() uint32 {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.nTracks
+}
+
+// Allocate reserves n fresh tracks and returns the first track number.
+// Allocation is append-only: committed tracks are never overwritten, the
+// write-once style the paper anticipates for optical media ([Cp], §5.3.1
+// footnote on storage cost trends). Reclamation is an administrative
+// archival action, not reuse.
+func (tm *TrackManager) Allocate(n int) uint32 {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	first := tm.nTracks
+	tm.nTracks += uint32(n)
+	return first
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (tm *TrackManager) Stats() TrackStats {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.stats
+}
+
+// ResetStats zeroes the I/O counters (between benchmark phases).
+func (tm *TrackManager) ResetStats() {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	tm.stats = TrackStats{}
+}
+
+func (tm *TrackManager) seekTo(track uint32) {
+	d := int64(track) - int64(tm.lastPos)
+	if d < 0 {
+		d = -d
+	}
+	tm.stats.SeekDistance += uint64(d)
+	tm.lastPos = track
+}
+
+// WriteGroup writes a set of tracks to every replica, sorted ascending
+// (elevator order). Payloads shorter than the track payload are zero-padded;
+// longer payloads are an error.
+func (tm *TrackManager) WriteGroup(group map[uint32][]byte) error {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	nums := make([]uint32, 0, len(group))
+	for n := range group {
+		nums = append(nums, n)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	buf := make([]byte, tm.trackSize)
+	for _, n := range nums {
+		p := group[n]
+		if len(p) > tm.payload {
+			return fmt.Errorf("store: track payload %d exceeds %d", len(p), tm.payload)
+		}
+		for i := range buf {
+			buf[i] = 0
+		}
+		copy(buf[trackHeaderLen:], p)
+		sum := crc32.ChecksumIEEE(buf[trackHeaderLen:])
+		putU32(buf[0:], sum)
+		putU32(buf[4:], trackMagic)
+		tm.seekTo(n)
+		for _, f := range tm.replicas {
+			if _, err := f.WriteAt(buf, int64(n)*int64(tm.trackSize)); err != nil {
+				return fmt.Errorf("store: write track %d: %w", n, err)
+			}
+			tm.stats.Writes++
+		}
+		tm.cacheInsert(n, append([]byte(nil), buf[trackHeaderLen:]...))
+	}
+	return nil
+}
+
+// WriteTrack writes a single track.
+func (tm *TrackManager) WriteTrack(n uint32, payload []byte) error {
+	return tm.WriteGroup(map[uint32][]byte{n: payload})
+}
+
+// ReadTrack returns the payload of track n, trying replicas in order until
+// one passes its checksum.
+func (tm *TrackManager) ReadTrack(n uint32) ([]byte, error) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	if p, ok := tm.cache[n]; ok {
+		tm.stats.CacheHits++
+		return p, nil
+	}
+	buf := make([]byte, tm.trackSize)
+	var lastErr error
+	for i, f := range tm.replicas {
+		tm.seekTo(n)
+		if _, err := f.ReadAt(buf, int64(n)*int64(tm.trackSize)); err != nil {
+			lastErr = err
+			continue
+		}
+		tm.stats.Reads++
+		if getU32(buf[4:]) != trackMagic || crc32.ChecksumIEEE(buf[trackHeaderLen:]) != getU32(buf[0:]) {
+			lastErr = fmt.Errorf("store: checksum failure on track %d replica %d", n, i)
+			continue
+		}
+		if i > 0 {
+			tm.stats.ReplicaFallbacks++
+		}
+		p := append([]byte(nil), buf[trackHeaderLen:]...)
+		tm.cacheInsert(n, p)
+		return p, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("store: track %d unreadable", n)
+	}
+	return nil, lastErr
+}
+
+// ReadRange reads length bytes starting at (track, offset), crossing track
+// boundaries as needed. The Boxer lays objects contiguously, so a spanning
+// object is a consecutive run of tracks.
+func (tm *TrackManager) ReadRange(track uint32, offset, length int) ([]byte, error) {
+	out := make([]byte, 0, length)
+	for length > 0 {
+		p, err := tm.ReadTrack(track)
+		if err != nil {
+			return nil, err
+		}
+		if offset >= len(p) {
+			return nil, fmt.Errorf("store: offset %d beyond track payload", offset)
+		}
+		n := len(p) - offset
+		if n > length {
+			n = length
+		}
+		out = append(out, p[offset:offset+n]...)
+		length -= n
+		offset = 0
+		track++
+	}
+	return out, nil
+}
+
+// Sync flushes every replica to stable storage.
+func (tm *TrackManager) Sync() error {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	for _, f := range tm.replicas {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the replica files.
+func (tm *TrackManager) Close() error {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	var first error
+	for _, f := range tm.replicas {
+		if f == nil {
+			continue
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	tm.replicas = nil
+	return first
+}
+
+// DamageTrack corrupts track n on one replica (for availability testing —
+// experiment C7). It flips bytes in the stored payload so the checksum
+// fails, and evicts the cache entry so the next read hits the device.
+func (tm *TrackManager) DamageTrack(replica int, n uint32) error {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	if replica < 0 || replica >= len(tm.replicas) {
+		return fmt.Errorf("store: no replica %d", replica)
+	}
+	delete(tm.cache, n)
+	garbage := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0xDE, 0xAD, 0xBE, 0xEF}
+	_, err := tm.replicas[replica].WriteAt(garbage, int64(n)*int64(tm.trackSize)+trackHeaderLen)
+	return err
+}
+
+// DropCache clears the in-memory track cache (benchmarks that want cold
+// reads).
+func (tm *TrackManager) DropCache() {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	tm.cache = make(map[uint32][]byte)
+}
+
+func (tm *TrackManager) cacheInsert(n uint32, p []byte) {
+	if tm.cacheCap <= 0 {
+		return
+	}
+	if len(tm.cache) >= tm.cacheCap {
+		// Evict an arbitrary entry; the cache is a small working-set buffer,
+		// not a scored LRU, matching a simple controller buffer.
+		for k := range tm.cache {
+			delete(tm.cache, k)
+			break
+		}
+	}
+	tm.cache[n] = p
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,186 @@
+// Package txn implements the Transaction Manager (paper §6): it "handles
+// concurrent use of the permanent database in an optimistic manner. It
+// records accesses to the database for each session, and validates them for
+// consistency when a transaction commits."
+//
+// Sessions run against a snapshot (their begin time), record the OOPs they
+// read and write, and validate backwards at commit: a transaction commits
+// only if no transaction that committed after its snapshot wrote an object
+// it read or wrote (first committer wins). Validation, transaction-time
+// assignment and the durable apply run under one commit lock, so commit
+// order equals time order.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/oop"
+)
+
+// ErrConflict reports a failed validation; the session must abort and
+// refresh its view.
+var ErrConflict = errors.New("txn: commit conflict")
+
+// ID identifies an active transaction.
+type ID uint64
+
+// Txn is a handle for one active transaction.
+type Txn struct {
+	ID       ID
+	Snapshot oop.Time // the committed state this transaction reads
+}
+
+type commitRecord struct {
+	time   oop.Time
+	writes map[oop.OOP]struct{}
+}
+
+// Stats counts transaction outcomes.
+type Stats struct {
+	Begun     uint64
+	Committed uint64
+	Conflicts uint64
+}
+
+// Manager coordinates transactions across sessions.
+type Manager struct {
+	mu            sync.Mutex
+	lastCommitted oop.Time
+	nextID        ID
+	active        map[ID]oop.Time // id -> snapshot
+	log           []commitRecord  // committed write sets, ascending time
+	stats         Stats
+}
+
+// NewManager creates a Manager whose next transaction time follows
+// lastCommitted (recovered from the store's superblock).
+func NewManager(lastCommitted oop.Time) *Manager {
+	return &Manager{
+		lastCommitted: lastCommitted,
+		nextID:        1,
+		active:        make(map[ID]oop.Time),
+	}
+}
+
+// Begin starts a transaction reading the current committed state.
+func (m *Manager) Begin() Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := Txn{ID: m.nextID, Snapshot: m.lastCommitted}
+	m.nextID++
+	m.active[t.ID] = t.Snapshot
+	m.stats.Begun++
+	return t
+}
+
+// Commit validates the transaction and, if valid, assigns the next
+// transaction time and invokes apply to make the write set durable while
+// still holding the commit lock. If apply fails the transaction is not
+// recorded and its time is not consumed. Read-only transactions (empty
+// writes) validate but are not assigned a time.
+func (m *Manager) Commit(t Txn, reads, writes map[oop.OOP]struct{}, apply func(commit oop.Time) error) (oop.Time, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap, ok := m.active[t.ID]
+	if !ok {
+		return 0, fmt.Errorf("txn: transaction %d not active", t.ID)
+	}
+	// Backward validation against every commit after our snapshot.
+	for i := len(m.log) - 1; i >= 0 && m.log[i].time > snap; i-- {
+		when := m.log[i].time
+		for w := range m.log[i].writes {
+			if _, clash := reads[w]; clash {
+				m.stats.Conflicts++
+				m.finishLocked(t.ID)
+				return 0, fmt.Errorf("%w: %v written at %v after snapshot %v", ErrConflict, w, when, snap)
+			}
+			if _, clash := writes[w]; clash {
+				m.stats.Conflicts++
+				m.finishLocked(t.ID)
+				return 0, fmt.Errorf("%w: write-write on %v at %v after snapshot %v", ErrConflict, w, when, snap)
+			}
+		}
+	}
+	if len(writes) == 0 {
+		m.stats.Committed++
+		m.finishLocked(t.ID)
+		return snap, nil
+	}
+	commit := m.lastCommitted + 1
+	if apply != nil {
+		if err := apply(commit); err != nil {
+			m.finishLocked(t.ID)
+			return 0, err
+		}
+	}
+	m.lastCommitted = commit
+	ws := make(map[oop.OOP]struct{}, len(writes))
+	for w := range writes {
+		ws[w] = struct{}{}
+	}
+	m.log = append(m.log, commitRecord{time: commit, writes: ws})
+	m.stats.Committed++
+	m.finishLocked(t.ID)
+	return commit, nil
+}
+
+// Abort discards an active transaction.
+func (m *Manager) Abort(t Txn) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finishLocked(t.ID)
+}
+
+// finishLocked retires a transaction and trims validation log entries no
+// active snapshot can still conflict with.
+func (m *Manager) finishLocked(id ID) {
+	delete(m.active, id)
+	if len(m.log) == 0 {
+		return
+	}
+	oldest := m.lastCommitted
+	for _, snap := range m.active {
+		if snap < oldest {
+			oldest = snap
+		}
+	}
+	cut := 0
+	for cut < len(m.log) && m.log[cut].time <= oldest {
+		cut++
+	}
+	if cut > 0 {
+		m.log = append([]commitRecord(nil), m.log[cut:]...)
+	}
+}
+
+// LastCommitted returns the newest transaction time.
+func (m *Manager) LastCommitted() oop.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastCommitted
+}
+
+// SafeTime returns the most recent state that no currently running
+// transaction can change (paper §5.4): with optimistic control and
+// append-only history every committed state is immutable, so SafeTime is
+// the newest committed time at the moment of the call. A read-only session
+// dialed to SafeTime sees a stable, fully committed state.
+func (m *Manager) SafeTime() oop.Time {
+	return m.LastCommitted()
+}
+
+// Stats returns a snapshot of the outcome counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// ActiveCount returns the number of in-flight transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}

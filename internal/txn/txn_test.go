@@ -1,0 +1,254 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/oop"
+)
+
+func set(oops ...uint64) map[oop.OOP]struct{} {
+	m := make(map[oop.OOP]struct{}, len(oops))
+	for _, s := range oops {
+		m[oop.FromSerial(s)] = struct{}{}
+	}
+	return m
+}
+
+func TestCommitAssignsIncreasingTimes(t *testing.T) {
+	m := NewManager(5)
+	for want := oop.Time(6); want <= 10; want++ {
+		tx := m.Begin()
+		got, err := m.Commit(tx, set(1), set(1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("commit time = %v, want %v", got, want)
+		}
+	}
+	if m.LastCommitted() != 10 {
+		t.Errorf("LastCommitted = %v", m.LastCommitted())
+	}
+}
+
+func TestReadWriteConflict(t *testing.T) {
+	m := NewManager(0)
+	t1 := m.Begin()
+	t2 := m.Begin()
+	if _, err := m.Commit(t1, set(1), set(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	// t2 read object 1, which t1 wrote after t2's snapshot.
+	if _, err := m.Commit(t2, set(1), set(2), nil); !errors.Is(err, ErrConflict) {
+		t.Errorf("expected conflict, got %v", err)
+	}
+	st := m.Stats()
+	if st.Conflicts != 1 || st.Committed != 1 || st.Begun != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestWriteWriteConflict(t *testing.T) {
+	m := NewManager(0)
+	t1 := m.Begin()
+	t2 := m.Begin()
+	if _, err := m.Commit(t1, nil, set(7), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(t2, nil, set(7), nil); !errors.Is(err, ErrConflict) {
+		t.Errorf("expected write-write conflict, got %v", err)
+	}
+}
+
+func TestDisjointTransactionsBothCommit(t *testing.T) {
+	m := NewManager(0)
+	t1 := m.Begin()
+	t2 := m.Begin()
+	if _, err := m.Commit(t1, set(1), set(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Commit(t2, set(2), set(2), nil); err != nil {
+		t.Errorf("disjoint commit failed: %v", err)
+	}
+}
+
+func TestSerialTransactionsNeverConflict(t *testing.T) {
+	m := NewManager(0)
+	for i := 0; i < 10; i++ {
+		tx := m.Begin()
+		if _, err := m.Commit(tx, set(1, 2, 3), set(1, 2, 3), nil); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+func TestReadOnlyCommitNoTime(t *testing.T) {
+	m := NewManager(3)
+	tx := m.Begin()
+	got, err := m.Commit(tx, set(1), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("read-only commit returned %v, want snapshot 3", got)
+	}
+	if m.LastCommitted() != 3 {
+		t.Error("read-only commit consumed a transaction time")
+	}
+}
+
+func TestReadOnlyStillValidated(t *testing.T) {
+	m := NewManager(0)
+	reader := m.Begin()
+	writer := m.Begin()
+	if _, err := m.Commit(writer, nil, set(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	// The reader saw object 1 before writer's commit; its reads are stale.
+	if _, err := m.Commit(reader, set(1), nil, nil); !errors.Is(err, ErrConflict) {
+		t.Errorf("stale read-only commit should conflict, got %v", err)
+	}
+}
+
+func TestApplyFailureDoesNotConsumeTime(t *testing.T) {
+	m := NewManager(0)
+	tx := m.Begin()
+	boom := errors.New("disk full")
+	if _, err := m.Commit(tx, nil, set(1), func(oop.Time) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	if m.LastCommitted() != 0 {
+		t.Error("failed apply consumed a transaction time")
+	}
+	// The failed write set must not poison later validation.
+	t2 := m.Begin()
+	if _, err := m.Commit(t2, set(1), set(1), nil); err != nil {
+		t.Errorf("commit after failed apply: %v", err)
+	}
+}
+
+func TestAbort(t *testing.T) {
+	m := NewManager(0)
+	tx := m.Begin()
+	m.Abort(tx)
+	if m.ActiveCount() != 0 {
+		t.Error("abort left transaction active")
+	}
+	if _, err := m.Commit(tx, nil, set(1), nil); err == nil {
+		t.Error("commit after abort should fail")
+	}
+}
+
+func TestLogTrimming(t *testing.T) {
+	m := NewManager(0)
+	for i := 0; i < 100; i++ {
+		tx := m.Begin()
+		if _, err := m.Commit(tx, nil, set(uint64(i+1)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With no active transactions the validation log should be empty.
+	m.mu.Lock()
+	n := len(m.log)
+	m.mu.Unlock()
+	if n != 0 {
+		t.Errorf("log holds %d records with no active transactions", n)
+	}
+	// An old active snapshot pins the log.
+	old := m.Begin()
+	for i := 0; i < 5; i++ {
+		tx := m.Begin()
+		if _, err := m.Commit(tx, nil, set(uint64(200+i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.mu.Lock()
+	n = len(m.log)
+	m.mu.Unlock()
+	if n != 5 {
+		t.Errorf("log holds %d records, want 5 pinned by old snapshot", n)
+	}
+	m.Abort(old)
+}
+
+func TestSafeTime(t *testing.T) {
+	m := NewManager(7)
+	if m.SafeTime() != 7 {
+		t.Errorf("SafeTime = %v", m.SafeTime())
+	}
+	tx := m.Begin()
+	if _, err := m.Commit(tx, nil, set(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.SafeTime() != 8 {
+		t.Errorf("SafeTime after commit = %v", m.SafeTime())
+	}
+}
+
+// TestConcurrentCommitsSerializable hammers the manager from many
+// goroutines incrementing a logical counter; the number of successful
+// commits must equal the final counter value (lost updates impossible).
+func TestConcurrentCommitsSerializable(t *testing.T) {
+	m := NewManager(0)
+	var mu sync.Mutex
+	counter := 0         // the "database"
+	version := uint64(0) // which commit wrote it
+	_ = version
+	const workers, attempts = 8, 50
+	var wg sync.WaitGroup
+	var committed int64
+	var commitMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := 0; a < attempts; a++ {
+				tx := m.Begin()
+				mu.Lock()
+				val := counter
+				mu.Unlock()
+				_, err := m.Commit(tx, set(1), set(1), func(oop.Time) error {
+					mu.Lock()
+					counter = val + 1
+					mu.Unlock()
+					return nil
+				})
+				if err == nil {
+					commitMu.Lock()
+					committed++
+					commitMu.Unlock()
+				} else if !errors.Is(err, ErrConflict) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	final := counter
+	mu.Unlock()
+	if int64(final) != committed {
+		t.Errorf("lost updates: counter=%d committed=%d", final, committed)
+	}
+	st := m.Stats()
+	if st.Committed+st.Conflicts != workers*attempts {
+		t.Errorf("outcomes don't sum: %+v", st)
+	}
+}
+
+func BenchmarkCommitDisjoint(b *testing.B) {
+	m := NewManager(0)
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			tx := m.Begin()
+			if _, err := m.Commit(tx, nil, set(i), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,299 @@
+// Package wire is the host ↔ GemStone network link (paper §6: the present
+// implementation has "GemStone running on its own hardware and
+// communicating to user interface programs on host machines through a
+// network link", and "Communication with GemStone is done in blocks of OPAL
+// source code"). The protocol is length-delimited gob frames over TCP.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/executor"
+)
+
+// Op is a request operation.
+type Op uint8
+
+// Request operations.
+const (
+	OpLogin Op = iota + 1
+	OpExecute
+	OpCommit
+	OpAbort
+	OpLogout
+)
+
+// Request is one client → server frame.
+type Request struct {
+	Op       Op
+	User     string
+	Password string
+	Session  uint64
+	Source   string
+}
+
+// Response is one server → client frame.
+type Response struct {
+	OK      bool
+	Error   string
+	Session uint64
+	Result  string
+	Output  string
+	Time    uint64
+}
+
+const maxFrame = 16 << 20 // 16 MiB of OPAL source is enough for anyone
+
+func writeFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(buf)).Decode(v)
+}
+
+// Server accepts connections and dispatches requests to an Executor.
+type Server struct {
+	exec *executor.Executor
+	ln   net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on the listener. It returns immediately; Close
+// stops it.
+func Serve(ln net.Listener, exec *executor.Executor) *Server {
+	s := &Server{exec: exec, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting and closes all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	// Sessions opened on this connection, cleaned up on disconnect.
+	owned := map[executor.SessionID]struct{}{}
+	defer func() {
+		for id := range owned {
+			_ = s.exec.Logout(id)
+		}
+	}()
+	for {
+		var req Request
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		resp := s.dispatch(&req, owned)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request, owned map[executor.SessionID]struct{}) Response {
+	fail := func(err error) Response { return Response{Error: err.Error()} }
+	switch req.Op {
+	case OpLogin:
+		id, err := s.exec.Login(req.User, req.Password)
+		if err != nil {
+			return fail(err)
+		}
+		owned[id] = struct{}{}
+		return Response{OK: true, Session: uint64(id)}
+	case OpExecute:
+		result, output, err := s.exec.Execute(executor.SessionID(req.Session), req.Source)
+		if err != nil {
+			return Response{Error: err.Error(), Output: output}
+		}
+		return Response{OK: true, Result: result, Output: output}
+	case OpCommit:
+		t, err := s.exec.Commit(executor.SessionID(req.Session))
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Time: uint64(t)}
+	case OpAbort:
+		if err := s.exec.Abort(executor.SessionID(req.Session)); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case OpLogout:
+		if err := s.exec.Logout(executor.SessionID(req.Session)); err != nil {
+			return fail(err)
+		}
+		delete(owned, executor.SessionID(req.Session))
+		return Response{OK: true}
+	}
+	return fail(fmt.Errorf("wire: unknown op %d", req.Op))
+}
+
+// Client is a host-side connection to a GemStone server.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close disconnects (server-side sessions opened here are discarded).
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// RemoteSession is a session handle over the wire.
+type RemoteSession struct {
+	c  *Client
+	id uint64
+}
+
+// Login opens a remote session.
+func (c *Client) Login(user, password string) (*RemoteSession, error) {
+	resp, err := c.roundTrip(Request{Op: OpLogin, User: user, Password: password})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Error)
+	}
+	return &RemoteSession{c: c, id: resp.Session}, nil
+}
+
+// Execute runs a block of OPAL source remotely.
+func (r *RemoteSession) Execute(source string) (result, output string, err error) {
+	resp, err := r.c.roundTrip(Request{Op: OpExecute, Session: r.id, Source: source})
+	if err != nil {
+		return "", "", err
+	}
+	if !resp.OK {
+		return "", resp.Output, errors.New(resp.Error)
+	}
+	return resp.Result, resp.Output, nil
+}
+
+// Commit commits the remote transaction, returning its transaction time.
+func (r *RemoteSession) Commit() (uint64, error) {
+	resp, err := r.c.roundTrip(Request{Op: OpCommit, Session: r.id})
+	if err != nil {
+		return 0, err
+	}
+	if !resp.OK {
+		return 0, errors.New(resp.Error)
+	}
+	return resp.Time, nil
+}
+
+// Abort discards the remote transaction's pending changes.
+func (r *RemoteSession) Abort() error {
+	resp, err := r.c.roundTrip(Request{Op: OpAbort, Session: r.id})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return errors.New(resp.Error)
+	}
+	return nil
+}
+
+// Logout closes the remote session.
+func (r *RemoteSession) Logout() error {
+	resp, err := r.c.roundTrip(Request{Op: OpLogout, Session: r.id})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return errors.New(resp.Error)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package wire
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/gemstone"
+	"repro/internal/executor"
+)
+
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	db, err := gemstone.Open(t.TempDir(), gemstone.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, executor.New(db))
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func TestLoginExecuteCommit(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rs, err := c.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, _, err := rs.Execute("3 + 4")
+	if err != nil || result != "7" {
+		t.Errorf("execute = %q (%v)", result, err)
+	}
+	// A full data round-trip over the network link.
+	if _, _, err := rs.Execute("World at: #greeting put: 'hello from the host'"); err != nil {
+		t.Fatal(err)
+	}
+	tm, err := rs.Commit()
+	if err != nil || tm == 0 {
+		t.Fatalf("commit = %d (%v)", tm, err)
+	}
+	result, _, err = rs.Execute("World!greeting")
+	if err != nil || result != "'hello from the host'" {
+		t.Errorf("fetch = %q (%v)", result, err)
+	}
+	if err := rs.Logout(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rs.Execute("1"); err == nil {
+		t.Error("execute after logout should fail")
+	}
+}
+
+func TestBadLogin(t *testing.T) {
+	_, addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Login("nobody", "x"); err == nil {
+		t.Error("bad login accepted")
+	}
+}
+
+func TestTranscriptOutputOverWire(t *testing.T) {
+	_, addr := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	rs, err := c.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, output, err := rs.Execute("Transcript show: 'progress'. 42")
+	if err != nil || result != "42" || output != "progress" {
+		t.Errorf("= %q %q (%v)", result, output, err)
+	}
+	// Errors carry partial output back.
+	_, output, err = rs.Execute("Transcript show: 'before'. nil boom")
+	if err == nil || !strings.Contains(err.Error(), "doesNotUnderstand") {
+		t.Errorf("err = %v", err)
+	}
+	if output != "before" {
+		t.Errorf("output = %q", output)
+	}
+}
+
+func TestAbortOverWire(t *testing.T) {
+	_, addr := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	rs, _ := c.Login(gemstone.SystemUser, "swordfish")
+	_, _, _ = rs.Execute("World at: #x put: 1")
+	if _, err := rs.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _ = rs.Execute("World at: #x put: 2")
+	if err := rs.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	result, _, _ := rs.Execute("World!x")
+	if result != "1" {
+		t.Errorf("x = %s after abort", result)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, addr := startServer(t)
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			rs, err := c.Login(gemstone.SystemUser, "swordfish")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < 5; j++ {
+				if _, _, err := rs.Execute("100 factorialish"); err == nil {
+					errs <- nil // expected DNU error actually
+				}
+				if res, _, err := rs.Execute("6 * 7"); err != nil || res != "42" {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	_ = srv
+}
+
+func TestSessionsCleanedOnDisconnect(t *testing.T) {
+	db, err := gemstone.Open(t.TempDir(), gemstone.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	exec := executor.New(db)
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	srv := Serve(ln, exec)
+	defer srv.Close()
+	c, _ := Dial(ln.Addr().String())
+	if _, err := c.Login(gemstone.SystemUser, "swordfish"); err != nil {
+		t.Fatal(err)
+	}
+	if exec.ActiveSessions() != 1 {
+		t.Fatalf("sessions = %d", exec.ActiveSessions())
+	}
+	c.Close()
+	// The handler notices the close and logs out the session.
+	for i := 0; i < 100 && exec.ActiveSessions() != 0; i++ {
+		// Tiny spin; the disconnect is processed by the handler goroutine.
+	}
+	deadline := make(chan struct{})
+	go func() {
+		for exec.ActiveSessions() != 0 {
+		}
+		close(deadline)
+	}()
+	<-deadline
+}
+
+func TestLargeSourceBlock(t *testing.T) {
+	_, addr := startServer(t)
+	c, _ := Dial(addr)
+	defer c.Close()
+	rs, err := c.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ~1MB OPAL block: a giant string literal round-trips intact.
+	big := strings.Repeat("x", 1<<20)
+	result, _, err := rs.Execute("'" + big + "' size")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result != "1048576" {
+		t.Errorf("size = %s", result)
+	}
+}
