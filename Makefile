@@ -1,0 +1,29 @@
+# Tier-1 verification: everything CI runs, in the same order.
+# `make verify` must pass before any commit.
+
+GO ?= go
+
+.PHONY: verify build vet lint test race bench
+
+verify: build vet lint test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gslint machine-checks the paper's implementation invariants (locking
+# discipline, deterministic serialization, commit-clock time, OOP identity).
+# See DESIGN.md "Invariants & static analysis".
+lint:
+	$(GO) run ./cmd/gslint ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,81 @@
+// Command gslint runs the GemStone invariant analyzers over the
+// repository's own source:
+//
+//	go run ./cmd/gslint ./...
+//
+// It exits non-zero if any finding survives. See internal/analysis for the
+// analyzers (locksafe, detmap, wallclock, ooppure) and the
+// //lint:ignore <analyzer> <reason> suppression syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list analyzers and exit")
+		only = flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gslint [-list] [-only a,b] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			scope := "all packages"
+			if len(a.Paths) > 0 {
+				scope = strings.Join(a.Paths, ", ")
+			}
+			fmt.Printf("%-10s %s\n%11s(scope: %s)\n", a.Name, a.Doc, "", scope)
+		}
+		return
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				filtered = append(filtered, a)
+				delete(want, a.Name)
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(os.Stderr, "gslint: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.LoadPackages(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gslint: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		for _, f := range analysis.RunAnalyzers(analyzers, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info) {
+			fmt.Println(f)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

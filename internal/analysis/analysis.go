@@ -1,0 +1,224 @@
+// Package analysis is gslint's engine: a small, stdlib-only static-analysis
+// framework (go/parser + go/ast + go/types) plus the four analyzers that
+// machine-check the paper's implementation invariants:
+//
+//	locksafe  — fields annotated "guards"/"guarded by" are only touched
+//	            under their mutex (the shared-cache and commit-lock
+//	            discipline of internal/core, internal/store, internal/txn)
+//	detmap    — no unordered map iteration on serialization/commit/wire
+//	            paths, so track images and replication streams are
+//	            byte-deterministic
+//	wallclock — no time.Now/math/rand in the kernel packages; transaction
+//	            time comes from the commit clock, keeping @T reads
+//	            reproducible
+//	ooppure   — OOPs are immutable entity identities: no arithmetic on
+//	            oop.OOP, no reassignment of another package's OOP-typed
+//	            identity fields outside constructors
+//
+// Intentional exceptions are written in the source as
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line above it, so every waiver is explicit
+// and auditable. A suppression without a reason is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Paths restricts the analyzer to packages whose import path matches
+	// one of these entries exactly, or is a subdirectory of one. Empty
+	// means every package.
+	Paths []string
+	Run   func(*Pass)
+}
+
+// applies reports whether the analyzer covers the package path.
+func (a *Analyzer) applies(pkgPath string) bool {
+	if len(a.Paths) == 0 {
+		return true
+	}
+	for _, p := range a.Paths {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	analyzer string // "" means malformed
+	reason   string
+	used     bool
+	pos      token.Pos
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectSuppressions indexes every //lint:ignore comment by file and line.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]*suppression {
+	out := make(map[string]map[int]*suppression)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				s := &suppression{pos: c.Pos()}
+				if name, reason, ok := strings.Cut(rest, " "); ok && strings.TrimSpace(reason) != "" {
+					s.analyzer = name
+					s.reason = strings.TrimSpace(reason)
+				}
+				pos := fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int]*suppression)
+				}
+				out[pos.Filename][pos.Line] = s
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer to the package and returns the
+// surviving (unsuppressed) findings, sorted by position. Suppression
+// comments must name the analyzer and give a reason; malformed or unused
+// suppressions are reported so waivers cannot rot silently.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		if !a.applies(pkg.Path()) {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, findings: &raw}
+		a.Run(pass)
+	}
+
+	sup := collectSuppressions(fset, files)
+	var out []Finding
+	for _, f := range raw {
+		if s := matchSuppression(sup, f); s != nil {
+			s.used = true
+			continue
+		}
+		out = append(out, f)
+	}
+	// Malformed and unused suppressions are findings themselves.
+	for _, lines := range sup {
+		for _, s := range lines {
+			switch {
+			case s.analyzer == "":
+				out = append(out, Finding{
+					Pos:      fset.Position(s.pos),
+					Analyzer: "gslint",
+					Message:  "malformed suppression: want //lint:ignore <analyzer> <reason>",
+				})
+			case !s.used && analyzerNamed(analyzers, s.analyzer) == nil:
+				// A waiver for a real analyzer that just isn't in this run
+				// (e.g. gslint -only) is neither unknown nor unused.
+				if analyzerNamed(All(), s.analyzer) != nil {
+					continue
+				}
+				out = append(out, Finding{
+					Pos:      fset.Position(s.pos),
+					Analyzer: "gslint",
+					Message:  fmt.Sprintf("suppression names unknown analyzer %q", s.analyzer),
+				})
+			case !s.used && analyzerNamed(analyzers, s.analyzer).applies(pkg.Path()):
+				out = append(out, Finding{
+					Pos:      fset.Position(s.pos),
+					Analyzer: "gslint",
+					Message:  fmt.Sprintf("unused suppression for %s; remove it", s.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+func analyzerNamed(analyzers []*Analyzer, name string) *Analyzer {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// matchSuppression finds a suppression covering the finding: same line or
+// the line directly above, naming the finding's analyzer.
+func matchSuppression(sup map[string]map[int]*suppression, f Finding) *suppression {
+	lines := sup[f.Pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if s, ok := lines[line]; ok && s.analyzer == f.Analyzer {
+			return s
+		}
+	}
+	return nil
+}
+
+// All returns the production analyzer set with the repository's scoping.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Locksafe(),
+		Detmap("repro/internal/store", "repro/internal/txn", "repro/internal/wire", "repro/internal/core"),
+		Wallclock("repro/internal/oop", "repro/internal/txn", "repro/internal/store", "repro/internal/core", "repro/internal/object", "repro/internal/wire"),
+		Ooppure("repro/internal/oop"),
+	}
+}

@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detmap flags `range` over a map in serialization / commit / wire
+// packages: Go randomizes map iteration order, and anything it feeds into
+// track images, commit batches or replication streams would differ from
+// run to run, breaking byte-determinism of the store (a track group must
+// re-encode identically for replica comparison and recovery audits).
+//
+// Two shapes are recognized as safe without a suppression:
+//
+//  1. Key collection followed by a sort: the loop body only appends to
+//     local slices, and each such slice is later passed to a sort.* /
+//     slices.Sort* call in the same function.
+//  2. Pure map-to-map transfer: every statement in the body is an
+//     assignment whose targets are map index expressions (dst[k] = v),
+//     which is order-independent.
+//
+// Anything else needs sorted keys or an explicit
+// //lint:ignore detmap <reason>.
+func Detmap(paths ...string) *Analyzer {
+	a := &Analyzer{
+		Name:  "detmap",
+		Doc:   "no unordered map iteration on serialization/commit/wire paths",
+		Paths: paths,
+	}
+	a.Run = func(pass *Pass) { runDetmap(pass) }
+	return a
+}
+
+func runDetmap(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDetmapBody(pass, fd.Body)
+		}
+	}
+}
+
+func checkDetmapBody(pass *Pass, body *ast.BlockStmt) {
+	walkStmts(pass, body.List, nil)
+}
+
+// walkStmts visits each statement; tail carries the statements that follow
+// the enclosing statement in *its* list, so a range loop nested inside
+// another loop can still find the sort call that follows the outer loop.
+func walkStmts(pass *Pass, stmts []ast.Stmt, tail []ast.Stmt) {
+	for i, s := range stmts {
+		following := make([]ast.Stmt, 0, len(stmts)-i-1+len(tail))
+		following = append(following, stmts[i+1:]...)
+		following = append(following, tail...)
+		walkStmt(pass, s, following)
+	}
+}
+
+func walkStmt(pass *Pass, s ast.Stmt, following []ast.Stmt) {
+	switch n := s.(type) {
+	case *ast.LabeledStmt:
+		walkStmt(pass, n.Stmt, following)
+	case *ast.BlockStmt:
+		walkStmts(pass, n.List, following)
+	case *ast.IfStmt:
+		walkStmts(pass, n.Body.List, following)
+		if n.Else != nil {
+			walkStmt(pass, n.Else, following)
+		}
+	case *ast.ForStmt:
+		walkStmts(pass, n.Body.List, following)
+	case *ast.RangeStmt:
+		checkRange(pass, n, following)
+		walkStmts(pass, n.Body.List, following)
+	case *ast.SwitchStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmts(pass, cc.Body, following)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				walkStmts(pass, cc.Body, following)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				walkStmts(pass, cc.Body, following)
+			}
+		}
+	default:
+		// Function literals inside expressions get their own context.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				walkStmts(pass, fl.Body.List, nil)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func checkRange(pass *Pass, rs *ast.RangeStmt, following []ast.Stmt) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if collectThenSorted(pass, rs, following) || pureMapTransfer(pass, rs) {
+		return
+	}
+	pass.Reportf(rs.Pos(), "iteration over map %s is non-deterministic; sort the keys first (commit batches, track images and wire streams must be byte-deterministic)", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+}
+
+// collectThenSorted recognizes: the loop (possibly through nested loops
+// and conditionals) only appends to local slices, and every such slice is
+// sorted afterwards in the statements following the loop.
+func collectThenSorted(pass *Pass, rs *ast.RangeStmt, following []ast.Stmt) bool {
+	collected, ok := collectAppends(rs.Body.List)
+	if !ok || len(collected) == 0 {
+		return false
+	}
+	for _, c := range collected {
+		obj := pass.Info.Uses[c]
+		if obj == nil {
+			obj = pass.Info.Defs[c]
+		}
+		if obj == nil || !sortedAfter(pass, obj, following) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectAppends reports whether every statement is an append into a local
+// slice (x = append(x, ...)) or a nested loop/conditional of such
+// statements, returning the appended-to identifiers.
+func collectAppends(stmts []ast.Stmt) ([]*ast.Ident, bool) {
+	var out []*ast.Ident
+	for _, st := range stmts {
+		switch n := st.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return nil, false
+			}
+			lhs, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return nil, false
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return nil, false
+			}
+			fun, ok := call.Fun.(*ast.Ident)
+			if !ok || fun.Name != "append" || len(call.Args) < 1 {
+				return nil, false
+			}
+			dst, ok := call.Args[0].(*ast.Ident)
+			if !ok || dst.Name != lhs.Name {
+				return nil, false
+			}
+			out = append(out, lhs)
+		case *ast.RangeStmt:
+			sub, ok := collectAppends(n.Body.List)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, sub...)
+		case *ast.ForStmt:
+			sub, ok := collectAppends(n.Body.List)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, sub...)
+		case *ast.IfStmt:
+			sub, ok := collectAppends(n.Body.List)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, sub...)
+		default:
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// sortedAfter reports whether obj appears as an argument to a sort.* or
+// slices.Sort* call in the given statements.
+func sortedAfter(pass *Pass, obj types.Object, stmts []ast.Stmt) bool {
+	found := false
+	for _, st := range stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[pkgIdent].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// pureMapTransfer recognizes a body whose statements are all assignments
+// into map index expressions (dst[k] = v): per-key writes commute, so the
+// iteration order cannot be observed.
+func pureMapTransfer(pass *Pass, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		for _, lhs := range as.Lhs {
+			ix, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			t := pass.Info.TypeOf(ix.X)
+			if t == nil {
+				return false
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return false
+			}
+		}
+		// The values must not themselves involve calls with side effects;
+		// permit only call-free right-hand sides.
+		for _, rhs := range as.Rhs {
+			hasCall := false
+			ast.Inspect(rhs, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					// Type conversions are fine; anything else is a call.
+					if !isTypeConversion(pass, call) {
+						hasCall = true
+					}
+				}
+				return !hasCall
+			})
+			if hasCall {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func isTypeConversion(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import "testing"
+
+const detmapFixture = `package fx
+
+import "sort"
+
+func Bad(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func GoodSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func GoodTransfer(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func GoodNested(groups map[string]map[string]int) []string {
+	var keys []string
+	for _, g := range groups {
+		for k := range g {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func BadCollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func GoodSliceRange(xs []string) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}
+`
+
+func TestDetmap(t *testing.T) {
+	got := checkFixture(t, "repro/internal/store", detmapFixture,
+		Detmap("repro/internal/store"))
+	wantFindings(t, got,
+		"iteration over map", // Bad: appends under a condition, no sort
+		"iteration over map", // BadCollectNoSort: collected but never sorted
+	)
+	if got[0].Pos.Line != 7 || got[1].Pos.Line != 43 {
+		t.Errorf("findings at lines %d and %d, want 7 and 43:\n%s",
+			got[0].Pos.Line, got[1].Pos.Line, renderFindings(got))
+	}
+}

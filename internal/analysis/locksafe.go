@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Locksafe enforces the repository's documented locking discipline. A
+// mutex field annotated
+//
+//	mu sync.Mutex // guards a, b, c
+//
+// (or a data field annotated "guarded by mu") may only be accessed through
+// the receiver in methods that lock that mutex first, or in methods whose
+// name ends in "Locked" (the convention for helpers whose callers hold the
+// lock). Writes require Lock; RLock only licenses reads.
+//
+// The check is intentionally flow-insensitive: a Lock call anywhere before
+// the access (by source position) satisfies it, and cross-struct accesses
+// (x.y.field where x.y is not the receiver) are out of scope. It catches
+// the common failure — a new method or branch that forgets the lock — not
+// every interleaving.
+func Locksafe() *Analyzer {
+	a := &Analyzer{
+		Name: "locksafe",
+		Doc:  "fields annotated 'guards'/'guarded by' must be accessed under their mutex",
+	}
+	a.Run = func(pass *Pass) { runLocksafe(pass) }
+	return a
+}
+
+var (
+	guardsRe    = regexp.MustCompile(`\bguards:?\s+(.+)`)
+	guardedByRe = regexp.MustCompile(`\bguarded by\s+(\w+)`)
+)
+
+// guardSet maps guarded field name -> mutex field name, per struct type.
+type guardSet map[string]string
+
+func runLocksafe(pass *Pass) {
+	// structGuards: named struct type -> guarded fields.
+	structGuards := make(map[*types.Named]guardSet)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Defs[ts.Name]
+			if obj == nil {
+				return true
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			gs := collectGuards(pass, ts.Name.Name, st)
+			if len(gs) > 0 {
+				structGuards[named] = gs
+			}
+			return true
+		})
+	}
+	if len(structGuards) == 0 {
+		return
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recvNamed, recvObj := receiverOf(pass, fd)
+			if recvNamed == nil || recvObj == nil {
+				continue
+			}
+			gs, ok := structGuards[recvNamed]
+			if !ok {
+				continue
+			}
+			checkMethodLocks(pass, fd, recvObj, gs)
+		}
+	}
+}
+
+// collectGuards parses the guard annotations of one struct declaration.
+func collectGuards(pass *Pass, typeName string, st *ast.StructType) guardSet {
+	fieldNames := make(map[string]bool)
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			fieldNames[n.Name] = true
+		}
+	}
+	gs := make(guardSet)
+	for _, f := range st.Fields.List {
+		if len(f.Names) == 0 {
+			continue
+		}
+		text := fieldComment(f)
+		if text == "" {
+			continue
+		}
+		if m := guardsRe.FindStringSubmatch(text); m != nil {
+			mu := f.Names[0].Name
+			for _, name := range strings.Split(m[1], ",") {
+				name = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(name), "."))
+				if name == "" {
+					continue
+				}
+				if !fieldNames[name] {
+					pass.Reportf(f.Pos(), "%s.%s guards unknown field %q (annotation must list field names)", typeName, mu, name)
+					continue
+				}
+				gs[name] = mu
+			}
+		}
+		if m := guardedByRe.FindStringSubmatch(text); m != nil {
+			mu := m[1]
+			if !fieldNames[mu] {
+				pass.Reportf(f.Pos(), "%s.%s guarded by unknown field %q", typeName, f.Names[0].Name, mu)
+			} else {
+				for _, n := range f.Names {
+					gs[n.Name] = mu
+				}
+			}
+		}
+	}
+	return gs
+}
+
+func fieldComment(f *ast.Field) string {
+	var parts []string
+	if f.Doc != nil {
+		parts = append(parts, f.Doc.Text())
+	}
+	if f.Comment != nil {
+		parts = append(parts, f.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+// receiverOf resolves the method's receiver named type and variable.
+func receiverOf(pass *Pass, fd *ast.FuncDecl) (*types.Named, *types.Var) {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil, nil
+	}
+	ident := fd.Recv.List[0].Names[0]
+	obj, ok := pass.Info.Defs[ident].(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	t := obj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named, obj
+}
+
+type lockCall struct {
+	pos  token.Pos
+	mu   string
+	read bool // RLock rather than Lock
+}
+
+// checkMethodLocks verifies guarded-field accesses within one method.
+func checkMethodLocks(pass *Pass, fd *ast.FuncDecl, recv *types.Var, gs guardSet) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	var locks []lockCall
+	// First pass: find recv.<mu>.Lock() / RLock() calls.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		method := sel.Sel.Name
+		if method != "Lock" && method != "RLock" {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := inner.X.(*ast.Ident)
+		if !ok || pass.Info.Uses[base] != recv {
+			return true
+		}
+		locks = append(locks, lockCall{pos: call.Pos(), mu: inner.Sel.Name, read: method == "RLock"})
+		return true
+	})
+
+	// Second pass: guarded accesses.
+	writes := writeTargets(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || pass.Info.Uses[base] != recv {
+			return true
+		}
+		mu, guarded := gs[sel.Sel.Name]
+		if !guarded {
+			return true
+		}
+		isWrite := writes[sel]
+		if !lockHeldBefore(locks, mu, sel.Pos(), isWrite) {
+			kind := "read"
+			need := fmt.Sprintf("%s.%s.Lock or RLock", base.Name, mu)
+			if isWrite {
+				kind = "write"
+				need = fmt.Sprintf("%s.%s.Lock", base.Name, mu)
+			}
+			pass.Reportf(sel.Pos(), "%s of %s.%s without %s (or name the method *Locked)",
+				kind, base.Name, sel.Sel.Name, need)
+		}
+		return true
+	})
+}
+
+// writeTargets marks selector expressions that are assigned to (or have
+// their address taken, conservatively a potential write).
+func writeTargets(body ast.Node) map[*ast.SelectorExpr]bool {
+	out := make(map[*ast.SelectorExpr]bool)
+	mark := func(e ast.Expr) {
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			out[sel] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+				// Writing an element of a guarded map/slice field
+				// (s.cache[k] = v) mutates the field.
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					mark(ix.X)
+				}
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+			if ix, ok := n.X.(*ast.IndexExpr); ok {
+				mark(ix.X)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		case *ast.CallExpr:
+			// delete(s.cache, k) and append into a guarded slice both
+			// mutate; treat the first argument of delete and any guarded
+			// field passed to append as writes.
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "delete" || id.Name == "append") && len(n.Args) > 0 {
+				mark(n.Args[0])
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockHeldBefore reports whether a satisfying lock call precedes pos.
+func lockHeldBefore(locks []lockCall, mu string, pos token.Pos, write bool) bool {
+	for _, l := range locks {
+		if l.mu != mu || l.pos >= pos {
+			continue
+		}
+		if write && l.read {
+			continue
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Ooppure protects entity identity. An oop.OOP is an immutable identity —
+// "an object lives forever with that identity" (paper §5.4) — not a number:
+//
+//   - arithmetic, bitwise and shift operations on OOP values are forbidden
+//     outside the oop package itself (which owns the tagged representation);
+//   - reassigning an OOP-typed field of a struct declared in *another*
+//     package (e.g. object.Object's OOP or Class from internal/core)
+//     is forbidden outside constructor functions (New*/new*): once an
+//     object exists, its identity and class binding are fixed.
+//
+// Packages may freely manage their own OOP-typed bookkeeping fields
+// (caches, root registries); the boundary crossed is what makes an
+// assignment identity mutation rather than bookkeeping.
+//
+// The exemptPaths arguments name the packages that implement the
+// representation and are allowed to do arithmetic (normally just
+// repro/internal/oop).
+func Ooppure(exemptPaths ...string) *Analyzer {
+	a := &Analyzer{
+		Name: "ooppure",
+		Doc:  "no arithmetic on oop.OOP; no cross-package reassignment of OOP identity fields",
+	}
+	a.Run = func(pass *Pass) { runOoppure(pass, exemptPaths) }
+	return a
+}
+
+// isOOP reports whether t is the named type OOP from an oop package.
+func isOOP(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "OOP" || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "oop" || strings.HasSuffix(p, "/oop")
+}
+
+var arithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.AND: true, token.OR: true, token.XOR: true,
+	token.AND_NOT: true, token.SHL: true, token.SHR: true,
+}
+
+var arithAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true, token.REM_ASSIGN: true, token.AND_ASSIGN: true,
+	token.OR_ASSIGN: true, token.XOR_ASSIGN: true, token.AND_NOT_ASSIGN: true,
+	token.SHL_ASSIGN: true, token.SHR_ASSIGN: true,
+}
+
+func runOoppure(pass *Pass, exemptPaths []string) {
+	for _, p := range exemptPaths {
+		if pass.Pkg.Path() == p {
+			return
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inConstructor := strings.HasPrefix(fd.Name.Name, "New") || strings.HasPrefix(fd.Name.Name, "new")
+			checkOoppureFunc(pass, fd, inConstructor)
+		}
+	}
+}
+
+func checkOoppureFunc(pass *Pass, fd *ast.FuncDecl, inConstructor bool) {
+	oopOperand := func(e ast.Expr) bool {
+		t := pass.Info.TypeOf(e)
+		return t != nil && isOOP(t)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if arithOps[n.Op] && (oopOperand(n.X) || oopOperand(n.Y)) {
+				pass.Reportf(n.OpPos, "arithmetic (%s) on oop.OOP: OOPs are opaque identities, not numbers; convert via the oop package's accessors", n.Op)
+			}
+		case *ast.IncDecStmt:
+			if oopOperand(n.X) {
+				pass.Reportf(n.Pos(), "%s on oop.OOP: OOPs are opaque identities, not counters", n.Tok)
+			}
+		case *ast.AssignStmt:
+			if arithAssignOps[n.Tok] {
+				for _, lhs := range n.Lhs {
+					if oopOperand(lhs) {
+						pass.Reportf(n.Pos(), "arithmetic assignment (%s) on oop.OOP: OOPs are opaque identities", n.Tok)
+					}
+				}
+			}
+			if n.Tok == token.ASSIGN && !inConstructor {
+				for _, lhs := range n.Lhs {
+					checkIdentityFieldWrite(pass, lhs)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkIdentityFieldWrite flags `x.F = v` where F is an OOP-typed field of
+// a struct declared in a different package than the one being analyzed.
+func checkIdentityFieldWrite(pass *Pass, lhs ast.Expr) {
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() || !isOOP(obj.Type()) {
+		return
+	}
+	if obj.Pkg() == nil || obj.Pkg() == pass.Pkg {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "reassignment of OOP identity field %s.%s declared in %s: identity is fixed at creation; build the object with the right identity instead",
+		exprString(sel.X), sel.Sel.Name, obj.Pkg().Path())
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "expr"
+}

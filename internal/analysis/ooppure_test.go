@@ -1,0 +1,60 @@
+package analysis
+
+import "testing"
+
+const ooppureFixture = `package fx
+
+import (
+	"repro/internal/object"
+	"repro/internal/oop"
+)
+
+func BadArith(a oop.OOP) oop.OOP { return a + 1 }
+
+func BadInc(a oop.OOP) oop.OOP { a++; return a }
+
+func BadShiftAssign(a oop.OOP) oop.OOP {
+	a <<= 3
+	return a
+}
+
+func BadReassign(ob *object.Object, c oop.OOP) { ob.Class = c }
+
+func NewThing(c oop.OOP) *object.Object {
+	ob := object.New(oop.Invalid, c, 0, object.FormatNamed)
+	ob.Class = c // constructors may finish wiring identity
+	return ob
+}
+
+type local struct{ id oop.OOP }
+
+func SamePackageBookkeeping(l *local, o oop.OOP) { l.id = o }
+
+func GoodCompare(a, b oop.OOP) bool { return a == b }
+`
+
+func TestOoppure(t *testing.T) {
+	got := checkFixture(t, "repro/internal/core", ooppureFixture,
+		Ooppure("repro/internal/oop"))
+	wantFindings(t, got,
+		"arithmetic (+) on oop.OOP",                   // BadArith
+		"++ on oop.OOP",                               // BadInc
+		"arithmetic assignment (<<=) on oop.OOP",      // BadShiftAssign
+		"reassignment of OOP identity field ob.Class", // BadReassign
+	)
+}
+
+func TestOoppureExemptsRepresentationPackage(t *testing.T) {
+	// The package owning the tagged representation may do arithmetic.
+	src := `package fx
+
+import "repro/internal/oop"
+
+func Shift(o oop.OOP) oop.OOP { return o + 1 }
+`
+	if got := checkFixture(t, "repro/internal/fx", src, Ooppure("repro/internal/fx")); len(got) != 0 {
+		t.Fatalf("exempt package must not be flagged:\n%s", renderFindings(got))
+	}
+	got := checkFixture(t, "repro/internal/fx", src, Ooppure("repro/internal/oop"))
+	wantFindings(t, got, "arithmetic (+) on oop.OOP")
+}

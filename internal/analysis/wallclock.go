@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// Wallclock forbids wall-clock and randomness sources in the kernel
+// packages. The paper's temporal model assigns every state change a
+// transaction time from the commit clock (txn.Manager), so a read dialed
+// to @T is reproducible forever; code that consults time.Now or math/rand
+// on those paths would make history depend on when (or how luckily) it was
+// replayed. Benchmarks and the experiments package measure real elapsed
+// time and are simply outside this analyzer's scope.
+func Wallclock(paths ...string) *Analyzer {
+	a := &Analyzer{
+		Name:  "wallclock",
+		Doc:   "no time.Now/math/rand in kernel packages; time comes from the commit clock",
+		Paths: paths,
+	}
+	a.Run = func(pass *Pass) { runWallclock(pass) }
+	return a
+}
+
+// forbidden wall-clock functions in package "time". time.Duration math and
+// timers for I/O deadlines are not flagged; only observations of the
+// current wall-clock instant are.
+var wallclockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func runWallclock(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if randPackages[path] {
+				pass.Reportf(imp.Pos(), "import of %s: kernel packages must be deterministic (derive pseudo-randomness from committed state if needed)", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if wallclockFuncs[obj.Name()] {
+					pass.Reportf(id.Pos(), "time.%s observes the wall clock; transaction time must come from the commit clock so @T reads replay identically", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,29 @@
+package analysis
+
+import "testing"
+
+const wallclockFixture = `package fx
+
+import (
+	"math/rand"
+	"time"
+)
+
+func BadNow() int64 { return time.Now().UnixNano() }
+
+func BadSince(t0 time.Time) time.Duration { return time.Since(t0) }
+
+func UsesRand() int { return rand.Int() }
+
+func GoodDuration() time.Duration { return 5 * time.Second }
+`
+
+func TestWallclock(t *testing.T) {
+	got := checkFixture(t, "repro/internal/txn", wallclockFixture,
+		Wallclock("repro/internal/txn"))
+	wantFindings(t, got,
+		"import of math/rand", // the import itself, not any particular call
+		"time.Now observes",   // BadNow
+		"time.Since observes", // BadSince
+	)
+}

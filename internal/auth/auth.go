@@ -10,6 +10,7 @@ import (
 	"crypto/subtle"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/object"
@@ -224,7 +225,7 @@ func (a *Authorizer) IsAdmin(name string) bool {
 	return ok && u.admin
 }
 
-// Users returns the known user names (for administrative listing).
+// Users returns the known user names, sorted (for administrative listing).
 func (a *Authorizer) Users() []string {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
@@ -232,6 +233,7 @@ func (a *Authorizer) Users() []string {
 	for n := range a.users {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -256,10 +258,19 @@ type SegmentState struct {
 	ID    object.SegmentID
 	Owner string
 	World Privilege
-	ACL   map[string]Privilege
+	ACL   []ACLEntry // ascending by User
 }
 
-// Export snapshots the authorization state for persistence.
+// ACLEntry is one user's privilege on a segment.
+type ACLEntry struct {
+	User string
+	Priv Privilege
+}
+
+// Export snapshots the authorization state for persistence. Every list is
+// sorted: the state is gob-encoded into a stored object, so its bytes must
+// be identical for identical authorization state (maps — both Go's and
+// gob's — iterate in random order and may not leak into the encoding).
 func (a *Authorizer) Export() State {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
@@ -267,13 +278,16 @@ func (a *Authorizer) Export() State {
 	for n, u := range a.users {
 		st.Users = append(st.Users, UserState{Name: n, Hash: u.passHash, Admin: u.admin, Home: u.home})
 	}
+	sort.Slice(st.Users, func(i, j int) bool { return st.Users[i].Name < st.Users[j].Name })
 	for id, s := range a.segments {
-		acl := make(map[string]Privilege, len(s.users))
+		acl := make([]ACLEntry, 0, len(s.users))
 		for n, p := range s.users {
-			acl[n] = p
+			acl = append(acl, ACLEntry{User: n, Priv: p})
 		}
+		sort.Slice(acl, func(i, j int) bool { return acl[i].User < acl[j].User })
 		st.Segments = append(st.Segments, SegmentState{ID: id, Owner: s.owner, World: s.world, ACL: acl})
 	}
+	sort.Slice(st.Segments, func(i, j int) bool { return st.Segments[i].ID < st.Segments[j].ID })
 	return st
 }
 
@@ -289,8 +303,8 @@ func Restore(st State) *Authorizer {
 	}
 	for _, s := range st.Segments {
 		users := make(map[string]Privilege, len(s.ACL))
-		for n, p := range s.ACL {
-			users[n] = p
+		for _, e := range s.ACL {
+			users[e.User] = e.Priv
 		}
 		a.segments[s.ID] = &segment{owner: s.Owner, world: s.World, users: users}
 	}

@@ -60,13 +60,13 @@ type DB struct {
 	txm  *txn.Manager
 	auth *auth.Authorizer
 
-	mu        sync.RWMutex // guards cache, symbol maps, dirs
+	mu        sync.RWMutex // guards cache, symByName, symByOOP, newSyms, dirs
 	cache     map[uint64]*object.Object
 	symByName map[string]oop.OOP
 	symByOOP  map[oop.OOP]string
 	newSyms   []oop.OOP // interned but not yet in the durable registry
 
-	serialMu   sync.Mutex
+	serialMu   sync.Mutex // guards nextSerial
 	nextSerial uint64
 
 	sysRoot oop.OOP          // the SystemRoot object referenced by the superblock

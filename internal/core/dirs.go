@@ -195,20 +195,38 @@ func (db *DB) syncMembership(m *maintained, v view, t oop.Time) error {
 	if err != nil {
 		return err
 	}
-	for name, mi := range m.members {
+	// Leaves and enters run in sorted name order so the B-tree takes the
+	// same shape — and equal-key members keep the same relative order in
+	// lookups — no matter how the maps iterate.
+	for _, name := range sortedNames(m.members) {
 		val, still := actual[name]
-		if !still || val != mi.member {
+		if !still || val != m.members[name].member {
 			if err := db.dirLeave(m, name, t); err != nil {
 				return err
 			}
 		}
 	}
-	for name, val := range actual {
+	entering := make([]oop.OOP, 0, len(actual))
+	for name := range actual {
+		entering = append(entering, name)
+	}
+	sort.Slice(entering, func(i, j int) bool { return entering[i] < entering[j] })
+	for _, name := range entering {
 		if _, have := m.members[name]; !have {
-			db.dirEnter(m, name, val, v, t)
+			db.dirEnter(m, name, actual[name], v, t)
 		}
 	}
 	return nil
+}
+
+// sortedNames returns the member element names in ascending OOP order.
+func sortedNames(members map[oop.OOP]memberInfo) []oop.OOP {
+	names := make([]oop.OOP, 0, len(members))
+	for name := range members {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
 }
 
 // loadLocked loads a committed object while db.mu is held.
@@ -237,13 +255,15 @@ func (db *DB) maintainDirectoriesLocked(ws map[uint64]*object.Object, commit oop
 				return err
 			}
 		}
-		// Members whose key path runs through a written object.
+		// Members whose key path runs through a written object, in sorted
+		// order for deterministic index maintenance.
 		var affected []oop.OOP
 		for serial := range ws {
 			for name := range m.depends[serial] {
 				affected = append(affected, name)
 			}
 		}
+		sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 		for _, name := range affected {
 			if err := db.dirRecompute(m, name, v, commit); err != nil {
 				return err
@@ -333,11 +353,7 @@ func (db *DB) rebuildDirectory(set oop.OOP, path []oop.OOP) (*maintained, error)
 			return nil, err
 		}
 		// Keys of continuing members may have changed at t.
-		names := make([]oop.OOP, 0, len(m.members))
-		for name := range m.members {
-			names = append(names, name)
-		}
-		for _, name := range names {
+		for _, name := range sortedNames(m.members) {
 			if err := db.dirRecompute(m, name, v, t); err != nil {
 				return nil, err
 			}

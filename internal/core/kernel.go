@@ -84,35 +84,40 @@ func (db *DB) internWellKnown() {
 func (db *DB) bootstrap(systemPassword string) error {
 	db.auth = auth.New(systemPassword)
 	var batch []*object.Object
-	newObj := func(class oop.OOP, seg object.SegmentID, f object.Format) *object.Object {
-		ob := object.New(oop.FromSerial(db.allocSerial()), class, seg, f)
+	addObj := func(o, class oop.OOP, seg object.SegmentID, f object.Format) *object.Object {
+		ob := object.New(o, class, seg, f)
 		batch = append(batch, ob)
 		return ob
 	}
+	newObj := func(class oop.OOP, seg object.SegmentID, f object.Format) *object.Object {
+		return addObj(oop.FromSerial(db.allocSerial()), class, seg, f)
+	}
 
-	// Allocate identities for the fixed infrastructure first.
-	sysRoot := newObj(oop.Invalid, auth.SystemSegment, object.FormatIndexed)
-	symReg := newObj(oop.Invalid, auth.SystemSegment, object.FormatIndexed)
-	db.sysRoot, db.symReg = sysRoot.OOP, symReg.OOP
-
-	// Kernel classes: allocate all OOPs before building bodies so
-	// superclass references resolve.
+	// Identity before state: allocate every fixed OOP up front — the
+	// system root, the symbol registry, then the kernel classes in spec
+	// order — so each object can be created with its final class and
+	// superclass references resolve. An object's Class is part of its
+	// identity and is never reassigned (the ooppure invariant); the serial
+	// order here is what reload and every past state depend on.
+	sysRootOOP := oop.FromSerial(db.allocSerial())
+	symRegOOP := oop.FromSerial(db.allocSerial())
+	db.sysRoot, db.symReg = sysRootOOP, symRegOOP
 	specs := db.classSpecs()
 	classOOPs := make(map[string]oop.OOP, len(specs))
-	classObjs := make(map[string]*object.Object, len(specs))
 	for _, sp := range specs {
-		ob := newObj(oop.Invalid, auth.SystemSegment, object.FormatNamed)
-		classOOPs[sp.name] = ob.OOP
-		classObjs[sp.name] = ob
-		*sp.target = ob.OOP
+		o := oop.FromSerial(db.allocSerial())
+		classOOPs[sp.name] = o
+		*sp.target = o
 	}
+
+	sysRoot := addObj(sysRootOOP, db.kernel.Object, auth.SystemSegment, object.FormatIndexed)
+	symReg := addObj(symRegOOP, db.kernel.Array, auth.SystemSegment, object.FormatIndexed)
 	// Classes are instances of Class (a deliberate collapse of the ST80
 	// metaclass tower; see DESIGN.md).
+	classObjs := make(map[string]*object.Object, len(specs))
 	for _, sp := range specs {
-		classObjs[sp.name].Class = db.kernel.Class
+		classObjs[sp.name] = addObj(classOOPs[sp.name], db.kernel.Class, auth.SystemSegment, object.FormatNamed)
 	}
-	sysRoot.Class = db.kernel.Object
-	symReg.Class = db.kernel.Array
 
 	db.internWellKnown()
 

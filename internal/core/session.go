@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/auth"
 	"repro/internal/object"
@@ -515,15 +516,12 @@ func (s *Session) Commit() (oop.Time, error) {
 // methods) before the database serves concurrent sessions: it bypasses
 // optimistic validation and does not consume a transaction time.
 func (s *Session) CommitKernel() error {
-	for _, ob := range s.ws {
-		ob.RestampPending(0)
-	}
+	batch := sortedWorkspace(s.ws)
 	s.db.mu.Lock()
 	symObjs := s.db.takePendingSymbolsLocked()
 	s.db.mu.Unlock()
-	batch := make([]*object.Object, 0, len(s.ws)+len(symObjs))
-	for _, ob := range s.ws {
-		batch = append(batch, ob)
+	for _, ob := range batch {
+		ob.RestampPending(0)
 	}
 	batch = append(batch, symObjs...)
 	if err := s.db.st.Apply(store.Commit{
@@ -558,12 +556,30 @@ func (s *Session) demotePromoted() {
 	}
 }
 
+// sortedWorkspace flattens a workspace into a serial-ordered object batch.
+// The slice has spare capacity for the commit's symbol objects.
+func sortedWorkspace(ws map[uint64]*object.Object) []*object.Object {
+	serials := make([]uint64, 0, len(ws))
+	for serial := range ws {
+		serials = append(serials, serial)
+	}
+	sort.Slice(serials, func(i, j int) bool { return serials[i] < serials[j] })
+	batch := make([]*object.Object, 0, len(ws)+8)
+	for _, serial := range serials {
+		batch = append(batch, ws[serial])
+	}
+	return batch
+}
+
 // linkCommit is the Linker (paper §6): it "incorporates updates made by a
 // transaction in the permanent database at commit time, calling for
 // restructuring of directories as needed". Runs under the transaction
 // manager's commit lock.
 func (db *DB) linkCommit(ws map[uint64]*object.Object, commit oop.Time) error {
-	for _, ob := range ws {
+	// Serial order makes the batch — and therefore the packed track image —
+	// byte-deterministic for a given write set (detmap invariant).
+	batch := sortedWorkspace(ws)
+	for _, ob := range batch {
 		ob.RestampPending(commit)
 	}
 	// Directory maintenance before the durable write, so a failed store
@@ -573,10 +589,6 @@ func (db *DB) linkCommit(ws map[uint64]*object.Object, commit oop.Time) error {
 	symObjs := db.takePendingSymbolsLocked()
 	db.mu.Unlock()
 
-	batch := make([]*object.Object, 0, len(ws)+len(symObjs))
-	for _, ob := range ws {
-		batch = append(batch, ob)
-	}
 	batch = append(batch, symObjs...)
 
 	if err := db.st.Apply(store.Commit{

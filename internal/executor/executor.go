@@ -24,7 +24,7 @@ var ErrNoSession = errors.New("executor: no such session")
 type Executor struct {
 	db *gemstone.DB
 
-	mu       sync.Mutex
+	mu       sync.Mutex // guards sessions, nextID
 	sessions map[SessionID]*remote
 	nextID   SessionID
 }

@@ -2,6 +2,7 @@ package opal
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/oop"
 )
@@ -88,13 +89,20 @@ func (in *Interp) installKernelMethods() error {
 	if err := in.s.SetGlobal("Transcript", tr); err != nil {
 		return err
 	}
-	// Kernel method sources.
-	for clsName, sources := range kernelSources {
+	// Kernel method sources. Install in sorted class order: each compiled
+	// method allocates OOPs, and identical bootstraps must assign identical
+	// OOPs so fresh database images are byte-deterministic.
+	classNames := make([]string, 0, len(kernelSources))
+	for clsName := range kernelSources {
+		classNames = append(classNames, clsName)
+	}
+	sort.Strings(classNames)
+	for _, clsName := range classNames {
 		cls, ok := in.s.Global(clsName)
 		if !ok {
 			return fmt.Errorf("opal: kernel class %s missing", clsName)
 		}
-		for _, src := range sources {
+		for _, src := range kernelSources[clsName] {
 			if _, err := in.defineMethod(cls, src); err != nil {
 				return fmt.Errorf("opal: kernel method for %s: %w", clsName, err)
 			}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"sort"
 	"sync"
 
 	"repro/internal/object"
@@ -81,7 +82,7 @@ var ErrCrashed = errors.New("store: simulated crash")
 
 // Store is the persistent object repository.
 type Store struct {
-	mu    sync.Mutex
+	mu    sync.Mutex // guards meta, super, pageTracks, pageCache, archive, dirTrackPending
 	tm    *TrackManager
 	opts  Options
 	meta  Meta
@@ -120,14 +121,19 @@ func Open(dir string, opts Options) (*Store, error) {
 		archive:   make(map[uint64][]byte),
 	}
 	s.entriesPerPage = tm.PayloadSize() / locatorLen
+	// No other goroutine can reach a store that Open has not returned, but
+	// the helpers below touch guarded state, so take the lock anyway and
+	// keep the locking discipline uniform.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if tm.Tracks() == 0 {
-		if err := s.initialize(); err != nil {
+		if err := s.initializeLocked(); err != nil {
 			tm.Close()
 			return nil, err
 		}
 		return s, nil
 	}
-	if err := s.recover(); err != nil {
+	if err := s.recoverLocked(); err != nil {
 		tm.Close()
 		return nil, err
 	}
@@ -136,11 +142,11 @@ func Open(dir string, opts Options) (*Store, error) {
 
 // initialize lays out a fresh database: two superblock tracks and an empty
 // table.
-func (s *Store) initialize() error {
+func (s *Store) initializeLocked() error {
 	s.tm.Allocate(2) // tracks 0 and 1: the alternating superblock slots
 	s.meta = Meta{Epoch: 1, LastTime: 0, NextSerial: 1, Root: oop.Invalid}
 	s.super = 1 // epoch 1 goes to slot 0; writeSuper flips from s.super
-	if err := s.writeSuperblock(); err != nil {
+	if err := s.writeSuperblockLocked(); err != nil {
 		return err
 	}
 	return s.tm.Sync()
@@ -155,7 +161,7 @@ func (s *Store) initialize() error {
 const superMagic = 0x50555347                          // "GSUP"
 const superLen = 4 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 // ... + trackSize + crc
 
-func (s *Store) encodeSuperblock() []byte {
+func (s *Store) encodeSuperblockLocked() []byte {
 	b := make([]byte, superLen)
 	putU32(b[0:], superMagic)
 	putU64(b[4:], s.meta.Epoch)
@@ -174,9 +180,9 @@ func (s *Store) encodeSuperblock() []byte {
 	return b
 }
 
-func (s *Store) writeSuperblock() error {
+func (s *Store) writeSuperblockLocked() error {
 	slot := 1 - s.super // alternate
-	if err := s.tm.WriteTrack(slot, s.encodeSuperblock()); err != nil {
+	if err := s.tm.WriteTrack(slot, s.encodeSuperblockLocked()); err != nil {
 		return err
 	}
 	if err := s.tm.Sync(); err != nil {
@@ -218,7 +224,7 @@ func parseSuperblock(b []byte, slot uint32) (superblock, bool) {
 // recover selects the newest valid superblock and rebuilds the table
 // directory from it. This is the entire crash-recovery procedure: shadow
 // paging means there is no log to replay.
-func (s *Store) recover() error {
+func (s *Store) recoverLocked() error {
 	var best superblock
 	found := false
 	for slot := uint32(0); slot < 2; slot++ {
@@ -326,7 +332,7 @@ func (s *Store) failpoint(step string) error {
 
 // loadPage returns the parsed object-table page with the given index,
 // using the cache.
-func (s *Store) loadPage(idx int) ([]Locator, error) {
+func (s *Store) loadPageLocked(idx int) ([]Locator, error) {
 	if p, ok := s.pageCache[idx]; ok {
 		return p, nil
 	}
@@ -352,12 +358,12 @@ func (s *Store) loadPage(idx int) ([]Locator, error) {
 }
 
 // locate returns the Locator for a serial.
-func (s *Store) locate(serial uint64) (Locator, error) {
+func (s *Store) locateLocked(serial uint64) (Locator, error) {
 	if serial == 0 {
 		return Locator{}, ErrNotFound
 	}
 	idx := int((serial - 1) / uint64(s.entriesPerPage))
-	page, err := s.loadPage(idx)
+	page, err := s.loadPageLocked(idx)
 	if err != nil {
 		return Locator{}, err
 	}
@@ -376,7 +382,7 @@ func (s *Store) Load(o oop.OOP) (*object.Object, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	loc, err := s.locate(o.Serial())
+	loc, err := s.locateLocked(o.Serial())
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", err, o)
 	}
@@ -408,7 +414,7 @@ func (s *Store) Exists(o oop.OOP) bool {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, err := s.locate(o.Serial())
+	_, err := s.locateLocked(o.Serial())
 	return err == nil
 }
 
@@ -485,7 +491,7 @@ func (s *Store) Apply(c Commit) error {
 		}
 		var page []Locator
 		if idx < len(s.pageTracks) && newPageTracks[idx] != 0 {
-			orig, err := s.loadPage(idx)
+			orig, err := s.loadPageLocked(idx)
 			if err != nil {
 				return nil, err
 			}
@@ -496,13 +502,20 @@ func (s *Store) Apply(c Commit) error {
 		dirty[idx] = page
 		return page, nil
 	}
-	for serial, loc := range newLocators {
+	// Ascending serial order keeps page materialization deterministic for
+	// identical commits (detmap invariant).
+	placedSerials := make([]uint64, 0, len(newLocators))
+	for serial := range newLocators {
+		placedSerials = append(placedSerials, serial)
+	}
+	sort.Slice(placedSerials, func(i, j int) bool { return placedSerials[i] < placedSerials[j] })
+	for _, serial := range placedSerials {
 		idx, slot := pageOf(serial)
 		page, err := ensureDirty(idx)
 		if err != nil {
 			return err
 		}
-		page[slot] = loc
+		page[slot] = newLocators[serial]
 	}
 	for _, serial := range c.ArchiveSerials {
 		idx, slot := pageOf(serial)
@@ -521,8 +534,16 @@ func (s *Store) Apply(c Commit) error {
 			}
 		}
 	}
+	// Ascending page order keeps the page-index -> track assignment (and so
+	// the whole shadow-paged image) identical for identical commits.
+	dirtyIdxs := make([]int, 0, len(dirty))
+	for idx := range dirty {
+		dirtyIdxs = append(dirtyIdxs, idx)
+	}
+	sort.Ints(dirtyIdxs)
 	pageGroup := make(map[uint32][]byte, len(dirty))
-	for idx, page := range dirty {
+	for _, idx := range dirtyIdxs {
+		page := dirty[idx]
 		tr := s.tm.Allocate(1)
 		newPageTracks[idx] = tr
 		raw := make([]byte, s.entriesPerPage*locatorLen)
@@ -597,7 +618,7 @@ func (s *Store) Apply(c Commit) error {
 		s.meta, s.pageTracks = oldMeta, oldPages
 		return err
 	}
-	if err := s.writeSuperblock(); err != nil {
+	if err := s.writeSuperblockLocked(); err != nil {
 		s.meta, s.pageTracks = oldMeta, oldPages
 		return err
 	}
@@ -620,7 +641,7 @@ func (s *Store) Archive(t oop.Time, oops []oop.OOP) error {
 	s.mu.Lock()
 	serials := make([]uint64, 0, len(oops))
 	for _, o := range oops {
-		loc, err := s.locate(o.Serial())
+		loc, err := s.locateLocked(o.Serial())
 		if err != nil {
 			s.mu.Unlock()
 			return err

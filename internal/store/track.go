@@ -23,7 +23,7 @@ type TrackManager struct {
 	trackSize int
 	payload   int // trackSize minus checksum header
 
-	mu       sync.Mutex
+	mu       sync.Mutex // guards replicas, nTracks, lastPos, cache, stats
 	replicas []*os.File
 	paths    []string
 	nTracks  uint32 // allocation high-water mark
@@ -117,7 +117,7 @@ func (tm *TrackManager) ResetStats() {
 	tm.stats = TrackStats{}
 }
 
-func (tm *TrackManager) seekTo(track uint32) {
+func (tm *TrackManager) seekToLocked(track uint32) {
 	d := int64(track) - int64(tm.lastPos)
 	if d < 0 {
 		d = -d
@@ -150,14 +150,14 @@ func (tm *TrackManager) WriteGroup(group map[uint32][]byte) error {
 		sum := crc32.ChecksumIEEE(buf[trackHeaderLen:])
 		putU32(buf[0:], sum)
 		putU32(buf[4:], trackMagic)
-		tm.seekTo(n)
+		tm.seekToLocked(n)
 		for _, f := range tm.replicas {
 			if _, err := f.WriteAt(buf, int64(n)*int64(tm.trackSize)); err != nil {
 				return fmt.Errorf("store: write track %d: %w", n, err)
 			}
 			tm.stats.Writes++
 		}
-		tm.cacheInsert(n, append([]byte(nil), buf[trackHeaderLen:]...))
+		tm.cacheInsertLocked(n, append([]byte(nil), buf[trackHeaderLen:]...))
 	}
 	return nil
 }
@@ -179,7 +179,7 @@ func (tm *TrackManager) ReadTrack(n uint32) ([]byte, error) {
 	buf := make([]byte, tm.trackSize)
 	var lastErr error
 	for i, f := range tm.replicas {
-		tm.seekTo(n)
+		tm.seekToLocked(n)
 		if _, err := f.ReadAt(buf, int64(n)*int64(tm.trackSize)); err != nil {
 			lastErr = err
 			continue
@@ -193,7 +193,7 @@ func (tm *TrackManager) ReadTrack(n uint32) ([]byte, error) {
 			tm.stats.ReplicaFallbacks++
 		}
 		p := append([]byte(nil), buf[trackHeaderLen:]...)
-		tm.cacheInsert(n, p)
+		tm.cacheInsertLocked(n, p)
 		return p, nil
 	}
 	if lastErr == nil {
@@ -279,13 +279,14 @@ func (tm *TrackManager) DropCache() {
 	tm.cache = make(map[uint32][]byte)
 }
 
-func (tm *TrackManager) cacheInsert(n uint32, p []byte) {
+func (tm *TrackManager) cacheInsertLocked(n uint32, p []byte) {
 	if tm.cacheCap <= 0 {
 		return
 	}
 	if len(tm.cache) >= tm.cacheCap {
 		// Evict an arbitrary entry; the cache is a small working-set buffer,
 		// not a scored LRU, matching a simple controller buffer.
+		//lint:ignore detmap in-memory cache eviction only; never reaches a track image
 		for k := range tm.cache {
 			delete(tm.cache, k)
 			break

@@ -14,6 +14,7 @@ package txn
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/oop"
@@ -34,7 +35,7 @@ type Txn struct {
 
 type commitRecord struct {
 	time   oop.Time
-	writes map[oop.OOP]struct{}
+	writes []oop.OOP // ascending; deterministic validation order
 }
 
 // Stats counts transaction outcomes.
@@ -46,7 +47,7 @@ type Stats struct {
 
 // Manager coordinates transactions across sessions.
 type Manager struct {
-	mu            sync.Mutex
+	mu            sync.Mutex // guards lastCommitted, nextID, active, log, stats
 	lastCommitted oop.Time
 	nextID        ID
 	active        map[ID]oop.Time // id -> snapshot
@@ -87,10 +88,12 @@ func (m *Manager) Commit(t Txn, reads, writes map[oop.OOP]struct{}, apply func(c
 	if !ok {
 		return 0, fmt.Errorf("txn: transaction %d not active", t.ID)
 	}
-	// Backward validation against every commit after our snapshot.
+	// Backward validation against every commit after our snapshot. Write
+	// sets are kept sorted, so the first conflict found — and therefore the
+	// reported error — is the same for the same history.
 	for i := len(m.log) - 1; i >= 0 && m.log[i].time > snap; i-- {
 		when := m.log[i].time
-		for w := range m.log[i].writes {
+		for _, w := range m.log[i].writes {
 			if _, clash := reads[w]; clash {
 				m.stats.Conflicts++
 				m.finishLocked(t.ID)
@@ -116,10 +119,11 @@ func (m *Manager) Commit(t Txn, reads, writes map[oop.OOP]struct{}, apply func(c
 		}
 	}
 	m.lastCommitted = commit
-	ws := make(map[oop.OOP]struct{}, len(writes))
+	ws := make([]oop.OOP, 0, len(writes))
 	for w := range writes {
-		ws[w] = struct{}{}
+		ws = append(ws, w)
 	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Serial() < ws[j].Serial() })
 	m.log = append(m.log, commitRecord{time: commit, writes: ws})
 	m.stats.Committed++
 	m.finishLocked(t.ID)
@@ -141,6 +145,7 @@ func (m *Manager) finishLocked(id ID) {
 		return
 	}
 	oldest := m.lastCommitted
+	//lint:ignore detmap commutative min over active snapshots; order cannot be observed
 	for _, snap := range m.active {
 		if snap < oldest {
 			oldest = snap

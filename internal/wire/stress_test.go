@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/gemstone"
+)
+
+// TestConcurrentCommitStress drives many clients through the full network
+// stack at once — wire frames, executor sessions, OPAL execution,
+// optimistic validation and the shadow-paged commit — all incrementing one
+// shared counter. First-committer-wins concurrency may force any number of
+// retries, but every successful commit must be visible afterwards: the
+// final counter value equals the number of commits that reported success.
+// Under -race this doubles as a dynamic check of the locking discipline
+// that gslint's locksafe analyzer enforces statically.
+func TestConcurrentCommitStress(t *testing.T) {
+	_, addr := startServer(t)
+
+	setup, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	admin, err := setup.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := admin.Execute("World at: #hits put: 0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const increments = 5
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			rs, err := c.Login(gemstone.SystemUser, "swordfish")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer rs.Logout()
+			done := 0
+			for attempts := 0; done < increments; attempts++ {
+				if attempts > 500*increments {
+					t.Error("conflict retries never converged; livelock?")
+					return
+				}
+				cur, _, err := rs.Execute("World!hits")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				n, err := strconv.Atoi(cur)
+				if err != nil {
+					t.Errorf("counter read %q: %v", cur, err)
+					return
+				}
+				if _, _, err := rs.Execute("World at: #hits put: " + strconv.Itoa(n+1)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := rs.Commit(); err != nil {
+					// A failed commit aborts and refreshes the session's
+					// view; anything but a validation conflict is a bug.
+					if !strings.Contains(err.Error(), "conflict") {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				done++
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// The setup session still reads its old snapshot; refresh it.
+	if err := admin.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	final, _, err := admin.Execute("World!hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := strconv.Itoa(workers * increments); final != want {
+		t.Fatalf("lost updates: counter = %s after %s successful commits", final, want)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 
 	"repro/internal/executor"
@@ -86,7 +87,7 @@ type Server struct {
 	exec *executor.Executor
 	ln   net.Listener
 
-	mu     sync.Mutex
+	mu     sync.Mutex // guards closed, conns
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
@@ -109,6 +110,7 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	err := s.ln.Close()
+	//lint:ignore detmap closing live sockets; nothing here reaches a commit or stream
 	for c := range s.conns {
 		c.Close()
 	}
@@ -148,7 +150,14 @@ func (s *Server) handle(conn net.Conn) {
 	// Sessions opened on this connection, cleaned up on disconnect.
 	owned := map[executor.SessionID]struct{}{}
 	defer func() {
+		// Log sessions out in a fixed order so abandoned workspaces are
+		// discarded deterministically.
+		ids := make([]executor.SessionID, 0, len(owned))
 		for id := range owned {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
 			_ = s.exec.Logout(id)
 		}
 	}()
