@@ -25,5 +25,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the full benchmark suite, folds the numbers into the
+# BENCH_2.json ledger (section "current"; the committed "baseline" section
+# predates the group-commit pipeline), and regenerates the paper's
+# experiments. benchjson reads `go test -bench` output from stdin.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem ./... | tee /tmp/bench_out.txt
+	$(GO) run ./cmd/benchjson -o BENCH_2.json -section current < /tmp/bench_out.txt
+	$(GO) run ./cmd/gsbench -all

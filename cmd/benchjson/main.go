@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// ledger keyed by benchmark name, recording ns/op, B/op, allocs/op, and any
+// custom metrics (such as aborts/op from the commit benchmarks). Sections
+// let one file carry both a pre-change baseline and the current numbers:
+//
+//	go test -bench . -benchmem | go run ./cmd/benchjson -o BENCH_2.json -section current
+//
+// When the output file already exists, other sections are preserved and
+// only the named section is replaced, so successive runs build a history.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	section := flag.String("section", "current", "section name to write results under")
+	flag.Parse()
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	doc := map[string]map[string]map[string]float64{}
+	if *out != "" {
+		if raw, err := os.ReadFile(*out); err == nil {
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: existing %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+		}
+	}
+	doc[*section] = results
+
+	enc, err := marshal(doc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s section %q\n", len(results), *out, *section)
+}
+
+// parse reads `go test -bench` text and extracts one metric map per
+// benchmark line. A line looks like:
+//
+//	BenchmarkC3/disjoint/workers=4-8  2049  560997 ns/op  0.0 aborts/op  104297 B/op  54 allocs/op
+func parse(f *os.File) (map[string]map[string]float64, error) {
+	results := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		// Strip the trailing -GOMAXPROCS suffix so names are stable across
+		// machines.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metrics := make(map[string]float64)
+		// fields[1] is the iteration count; after it come value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) > 0 {
+			results[name] = metrics
+		}
+	}
+	return results, sc.Err()
+}
+
+// marshal renders the document with sorted keys and stable indentation so
+// the ledger diffs cleanly in version control.
+func marshal(doc map[string]map[string]map[string]float64) ([]byte, error) {
+	var b strings.Builder
+	b.WriteString("{\n")
+	sections := sortedKeys(doc)
+	for i, sec := range sections {
+		fmt.Fprintf(&b, "  %s: {\n", quote(sec))
+		names := sortedKeys(doc[sec])
+		for j, name := range names {
+			fmt.Fprintf(&b, "    %s: {", quote(name))
+			units := sortedKeys(doc[sec][name])
+			for k, u := range units {
+				if k > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s: %s", quote(u), strconv.FormatFloat(doc[sec][name][u], 'f', -1, 64))
+			}
+			b.WriteString("}")
+			if j < len(names)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("  }")
+		if i < len(sections)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return []byte(b.String()), nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func quote(s string) string {
+	enc, _ := json.Marshal(s)
+	return string(enc)
+}

@@ -53,6 +53,11 @@ type Options struct {
 	Replicas       int    // replica files for each track (default 1)
 	CacheTracks    int    // in-memory track cache (default 256)
 	SystemPassword string // SystemUser password (default "swordfish")
+
+	// FailPoint, when non-nil, is consulted at each named step of the
+	// commit protocol; returning an error simulates a crash at that step
+	// (see store.Options). For recovery testing only.
+	FailPoint func(step string) error
 }
 
 // DB is an open database.
@@ -72,6 +77,7 @@ func Open(dir string, opts Options) (*DB, error) {
 			TrackSize:   opts.TrackSize,
 			Replicas:    opts.Replicas,
 			CacheTracks: opts.CacheTracks,
+			FailPoint:   opts.FailPoint,
 		},
 		SystemPassword: opts.SystemPassword,
 	})

@@ -90,12 +90,14 @@ func Open(dir string, opts Options) (*DB, error) {
 	meta := st.Meta()
 	db := &DB{
 		st:         st,
-		txm:        txn.NewManager(meta.LastTime),
 		cache:      make(map[uint64]*object.Object),
 		symByName:  make(map[string]oop.OOP),
 		symByOOP:   make(map[oop.OOP]string),
 		nextSerial: meta.NextSerial,
 	}
+	// The transaction manager hands validated commit groups back to the
+	// DB's Linker (applyCommitGroup) for one shared safe-write per group.
+	db.txm = txn.NewManager(meta.LastTime, db.applyCommitGroup)
 	if meta.Root == oop.Invalid {
 		if err := db.bootstrap(opts.SystemPassword); err != nil {
 			st.Close()

@@ -495,12 +495,13 @@ func (s *Session) SetGlobal(name string, value oop.OOP) error {
 // --- Transactions ---
 
 // Commit validates and atomically applies the session's pending writes,
-// returning the assigned transaction time. On conflict the workspace is
-// discarded, a fresh transaction begins, and the error wraps txn.ErrConflict.
+// returning the assigned transaction time. The durable apply is performed
+// by the group committer, which coalesces every concurrently validated
+// session into one safe-write; Commit blocks until this session's group is
+// durable. On conflict the workspace is discarded, a fresh transaction
+// begins, and the error wraps txn.ErrConflict.
 func (s *Session) Commit() (oop.Time, error) {
-	t, err := s.db.txm.Commit(s.tx, s.reads, s.writes, func(commit oop.Time) error {
-		return s.db.linkCommit(s.ws, commit)
-	})
+	t, err := s.db.txm.Commit(s.tx, s.reads, s.writes, s.ws)
 	if err != nil {
 		s.demotePromoted()
 		s.begin()
@@ -571,21 +572,31 @@ func sortedWorkspace(ws map[uint64]*object.Object) []*object.Object {
 	return batch
 }
 
-// linkCommit is the Linker (paper §6): it "incorporates updates made by a
-// transaction in the permanent database at commit time, calling for
-// restructuring of directories as needed". Runs under the transaction
-// manager's commit lock.
-func (db *DB) linkCommit(ws map[uint64]*object.Object, commit oop.Time) error {
-	// Serial order makes the batch — and therefore the packed track image —
-	// byte-deterministic for a given write set (detmap invariant).
-	batch := sortedWorkspace(ws)
-	for _, ob := range batch {
-		ob.RestampPending(commit)
+// applyCommitGroup is the Linker (paper §6) running as the group
+// committer: it "incorporates updates made by a transaction in the
+// permanent database at commit time, calling for restructuring of
+// directories as needed" — for every member of a durability group in one
+// safe-write. However many sessions validated while the previous group was
+// on its way to disk, the whole group costs one boxer pass, one
+// object-table copy-on-write, one directory chain and one superblock flip.
+// Exactly one call runs at a time (the transaction manager's flush token).
+func (db *DB) applyCommitGroup(group []*txn.Pending) error {
+	// Members arrive in ascending transaction-time order with disjoint
+	// write sets (validation would have failed any overlap). Serial order
+	// within each member keeps the packed track image byte-deterministic
+	// for a given commit sequence (detmap invariant).
+	batch := make([]*object.Object, 0, len(group)+8)
+	for _, p := range group {
+		member := sortedWorkspace(p.Payload.(map[uint64]*object.Object))
+		for _, ob := range member {
+			ob.RestampPending(p.Time)
+		}
+		batch = append(batch, member...)
 	}
-	// Directory maintenance before the durable write, so a failed store
-	// apply cannot leave directories ahead of the database: maintain after
-	// apply succeeds instead.
+	// Directory maintenance after the durable write, so a failed store
+	// apply cannot leave directories ahead of the database.
 	db.mu.Lock()
+	drained := db.newSyms
 	symObjs := db.takePendingSymbolsLocked()
 	db.mu.Unlock()
 
@@ -594,18 +605,29 @@ func (db *DB) linkCommit(ws map[uint64]*object.Object, commit oop.Time) error {
 	if err := db.st.Apply(store.Commit{
 		Objects:    batch,
 		NextSerial: db.serialHighWater(),
-		Time:       commit,
+		Time:       group[len(group)-1].Time,
 	}); err != nil {
+		// Nothing was published: re-queue the drained symbols so interned
+		// names are not lost with the failed group.
+		db.mu.Lock()
+		db.newSyms = append(drained, db.newSyms...)
+		db.mu.Unlock()
 		return err
 	}
 	db.mu.Lock()
 	for _, ob := range batch {
 		db.cache[ob.OOP.Serial()] = ob
 	}
-	// Directories see the post-commit state via the refreshed cache.
-	err := db.maintainDirectoriesLocked(ws, commit)
+	// Directories see each member's post-commit state via the refreshed
+	// cache, maintained in commit order. A maintenance failure is reported
+	// to that member alone; the group is already durable.
+	for _, p := range group {
+		if err := db.maintainDirectoriesLocked(p.Payload.(map[uint64]*object.Object), p.Time); err != nil {
+			p.Fail(err)
+		}
+	}
 	db.mu.Unlock()
-	return err
+	return nil
 }
 
 // --- Convenience for labeled sets ---

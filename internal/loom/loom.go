@@ -75,8 +75,20 @@ func (m *Memory) Store(ob *object.Object) error {
 	if len(raw) > MaxObjectBytes {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(raw))
 	}
-	m.disk[ob.OOP.Serial()] = raw
-	delete(m.cache, ob.OOP.Serial())
+	serial := ob.OOP.Serial()
+	m.disk[serial] = raw
+	if _, resident := m.cache[serial]; resident {
+		delete(m.cache, serial)
+		// Keep the FIFO order consistent with the cache: a stale entry
+		// here would make a later eviction pop the wrong victim and leave
+		// the cache over capacity.
+		for i, s := range m.order {
+			if s == serial {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	}
 	return nil
 }
 

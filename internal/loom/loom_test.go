@@ -85,6 +85,56 @@ func TestEviction(t *testing.T) {
 	}
 }
 
+// TestStoreKeepsOrderConsistent is the regression test for the FIFO
+// bookkeeping bug: Store evicted the cached copy but left its serial in
+// the order queue, so a later eviction could pop a stale victim (already
+// gone) and leave the cache over capacity with duplicate order entries.
+func TestStoreKeepsOrderConsistent(t *testing.T) {
+	const capacity = 2
+	m := New(capacity)
+	for i := uint64(1); i <= 4; i++ {
+		if err := m.Store(obj(i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fetch := func(serial uint64) {
+		t.Helper()
+		if _, _, err := m.Fetch(oop.FromSerial(serial), oop.FromSerial(500)); err != nil {
+			t.Fatal(err)
+		}
+		if m.Resident() > capacity {
+			t.Fatalf("resident = %d exceeds capacity %d", m.Resident(), capacity)
+		}
+		if len(m.order) != m.Resident() {
+			t.Fatalf("order holds %d entries for %d residents", len(m.order), m.Resident())
+		}
+	}
+	// The exact failing interleaving: with order [1 2], re-storing the
+	// resident object 1 and faulting 3 then 4 made the old code evict the
+	// stale victim 1 instead of 2, ending at three residents.
+	fetch(1)
+	fetch(2)
+	if err := m.Store(obj(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	fetch(3)
+	fetch(4)
+	// And a churn loop over every serial to shake out other interleavings.
+	for step := 0; step < 60; step++ {
+		serial := uint64(step%4) + 1
+		if step%3 == 0 {
+			if err := m.Store(obj(serial, step+1)); err != nil {
+				t.Fatal(err)
+			}
+			if len(m.order) != m.Resident() {
+				t.Fatalf("step %d: order holds %d entries for %d residents", step, len(m.order), m.Resident())
+			}
+		} else {
+			fetch(serial)
+		}
+	}
+}
+
 func Test64KBLimit(t *testing.T) {
 	// LOOM "retains the same maximum size for objects" — exceed it.
 	big := object.New(oop.FromSerial(1), oop.FromSerial(2), 0, object.FormatBytes)

@@ -23,13 +23,14 @@ type TrackManager struct {
 	trackSize int
 	payload   int // trackSize minus checksum header
 
-	mu       sync.Mutex // guards replicas, nTracks, lastPos, cache, stats
+	mu       sync.Mutex // guards replicas, nTracks, lastPos, cache, stats, scratch
 	replicas []*os.File
 	paths    []string
 	nTracks  uint32 // allocation high-water mark
 	lastPos  uint32 // last track touched, for seek accounting
 	cache    map[uint32][]byte
 	cacheCap int
+	scratch  []byte // reusable whole-group track-image encode buffer
 
 	stats TrackStats
 }
@@ -127,8 +128,11 @@ func (tm *TrackManager) seekToLocked(track uint32) {
 }
 
 // WriteGroup writes a set of tracks to every replica, sorted ascending
-// (elevator order). Payloads shorter than the track payload are zero-padded;
-// longer payloads are an error.
+// (elevator order). The track images are encoded once into a reusable
+// scratch buffer, then fanned out to all replicas concurrently — mirrored
+// controllers seek in parallel, so a replicated safe-write costs one
+// device pass, not Replicas sequential passes. Payloads shorter than the
+// track payload are zero-padded; longer payloads are an error.
 func (tm *TrackManager) WriteGroup(group map[uint32][]byte) error {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
@@ -137,27 +141,67 @@ func (tm *TrackManager) WriteGroup(group map[uint32][]byte) error {
 		nums = append(nums, n)
 	}
 	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
-	buf := make([]byte, tm.trackSize)
-	for _, n := range nums {
+	need := len(nums) * tm.trackSize
+	if cap(tm.scratch) < need {
+		tm.scratch = make([]byte, need)
+	}
+	slab := tm.scratch[:need]
+	for i, n := range nums {
 		p := group[n]
 		if len(p) > tm.payload {
 			return fmt.Errorf("store: track payload %d exceeds %d", len(p), tm.payload)
 		}
-		for i := range buf {
-			buf[i] = 0
-		}
+		buf := slab[i*tm.trackSize : (i+1)*tm.trackSize]
 		copy(buf[trackHeaderLen:], p)
+		for j := trackHeaderLen + len(p); j < len(buf); j++ {
+			buf[j] = 0
+		}
 		sum := crc32.ChecksumIEEE(buf[trackHeaderLen:])
 		putU32(buf[0:], sum)
 		putU32(buf[4:], trackMagic)
 		tm.seekToLocked(n)
-		for _, f := range tm.replicas {
-			if _, err := f.WriteAt(buf, int64(n)*int64(tm.trackSize)); err != nil {
+		tm.stats.Writes += uint64(len(tm.replicas))
+	}
+	if err := tm.fanoutLocked(slab, nums); err != nil {
+		return err
+	}
+	for i, n := range nums {
+		tm.cacheInsertLocked(n, append([]byte(nil), slab[i*tm.trackSize+trackHeaderLen:(i+1)*tm.trackSize]...))
+	}
+	return nil
+}
+
+// fanoutLocked pushes the encoded track images to every replica: inline
+// for a single file, one goroutine per replica otherwise. WriteAt is safe
+// for concurrent use, and each goroutine touches only its own file and
+// error slot.
+func (tm *TrackManager) fanoutLocked(slab []byte, nums []uint32) error {
+	ts := tm.trackSize
+	writeAll := func(f *os.File) error {
+		for i, n := range nums {
+			if _, err := f.WriteAt(slab[i*ts:(i+1)*ts], int64(n)*int64(ts)); err != nil {
 				return fmt.Errorf("store: write track %d: %w", n, err)
 			}
-			tm.stats.Writes++
 		}
-		tm.cacheInsertLocked(n, append([]byte(nil), buf[trackHeaderLen:]...))
+		return nil
+	}
+	if len(tm.replicas) == 1 {
+		return writeAll(tm.replicas[0])
+	}
+	errs := make([]error, len(tm.replicas))
+	var wg sync.WaitGroup
+	for ri, f := range tm.replicas {
+		wg.Add(1)
+		go func(ri int, f *os.File) {
+			defer wg.Done()
+			errs[ri] = writeAll(f)
+		}(ri, f)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -227,12 +271,32 @@ func (tm *TrackManager) ReadRange(track uint32, offset, length int) ([]byte, err
 	return out, nil
 }
 
-// Sync flushes every replica to stable storage.
+// Sync flushes every replica to stable storage, concurrently when
+// replicated: the group's durability point is the slowest device, not the
+// sum of all devices.
 func (tm *TrackManager) Sync() error {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
-	for _, f := range tm.replicas {
-		if err := f.Sync(); err != nil {
+	if len(tm.replicas) <= 1 {
+		for _, f := range tm.replicas {
+			if err := f.Sync(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(tm.replicas))
+	var wg sync.WaitGroup
+	for ri, f := range tm.replicas {
+		wg.Add(1)
+		go func(ri int, f *os.File) {
+			defer wg.Done()
+			errs[ri] = f.Sync()
+		}(ri, f)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}

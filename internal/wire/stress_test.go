@@ -1,12 +1,18 @@
 package wire
 
 import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/gemstone"
+	"repro/internal/executor"
 )
 
 // TestConcurrentCommitStress drives many clients through the full network
@@ -103,5 +109,244 @@ func TestConcurrentCommitStress(t *testing.T) {
 	}
 	if want := strconv.Itoa(workers * increments); final != want {
 		t.Fatalf("lost updates: counter = %s after %s successful commits", final, want)
+	}
+}
+
+// TestGroupCommitTimesGapFree drives N sessions committing disjoint write
+// sets through the group-commit pipeline. Whatever grouping the committer
+// chooses, the observable contract is unchanged: every session sees its
+// own transaction time, times are strictly increasing per session, and the
+// full set is gap-free — batched durability must not skip, reuse or
+// reorder transaction times.
+func TestGroupCommitTimesGapFree(t *testing.T) {
+	_, addr := startServer(t)
+
+	setup, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	admin, err := setup.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 6
+	const commits = 8
+	for w := 0; w < workers; w++ {
+		src := fmt.Sprintf("World at: #gobj%d put: (Object new at: #v put: 0; yourself)", w)
+		if _, _, err := admin.Execute(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base, err := admin.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	times := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			rs, err := c.Login(gemstone.SystemUser, "swordfish")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer rs.Logout()
+			for i := 0; i < commits; i++ {
+				src := fmt.Sprintf("| o | o := World!gobj%d. o at: #v put: %d", w, i)
+				if _, _, err := rs.Execute(src); err != nil {
+					t.Error(err)
+					return
+				}
+				// Disjoint write sets: a conflict here is a pipeline bug.
+				tm, err := rs.Commit()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				times[w] = append(times[w], tm)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	var all []uint64
+	for w := 0; w < workers; w++ {
+		for i := 1; i < len(times[w]); i++ {
+			if times[w][i] <= times[w][i-1] {
+				t.Fatalf("worker %d times not strictly increasing: %v", w, times[w])
+			}
+		}
+		all = append(all, times[w]...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) != workers*commits {
+		t.Fatalf("collected %d times, want %d", len(all), workers*commits)
+	}
+	for i, tm := range all {
+		if want := base + uint64(i+1); tm != want {
+			t.Fatalf("transaction times not gap-free: position %d holds %v, want %v (all %v)", i, tm, want, all)
+		}
+	}
+}
+
+// TestCrashMidGroupRecoversAllOrNothing injects a crash at every stage of
+// a batched apply while concurrent sessions commit disjoint write sets.
+// The torn group must roll back as a group: after recovery the database
+// contains exactly the commits that reported success — all of a published
+// group, none of a failed one — and the retried commits reuse the
+// rolled-back transaction times, keeping the history gap-free.
+func TestCrashMidGroupRecoversAllOrNothing(t *testing.T) {
+	steps := []string{"before-data", "after-data", "after-table", "after-directory", "before-superblock"}
+	for _, step := range steps {
+		t.Run(step, func(t *testing.T) {
+			dir := t.TempDir()
+			var armed, fired atomic.Bool
+			db, err := gemstone.Open(dir, gemstone.Options{FailPoint: func(s string) error {
+				if s == step && armed.Load() && fired.CompareAndSwap(false, true) {
+					return errors.New("injected crash at " + s)
+				}
+				return nil
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := Serve(ln, executor.New(db))
+			addr := ln.Addr().String()
+
+			setup, err := Dial(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			admin, err := setup.Login(gemstone.SystemUser, "swordfish")
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers = 4
+			const commits = 3
+			for w := 0; w < workers; w++ {
+				src := fmt.Sprintf("World at: #cobj%d put: (Object new at: #v put: 0; yourself)", w)
+				if _, _, err := admin.Execute(src); err != nil {
+					t.Fatal(err)
+				}
+			}
+			base, err := admin.Commit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			setup.Close()
+
+			armed.Store(true)
+			lastVal := make([]int, workers)
+			var timesMu sync.Mutex
+			var all []uint64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					c, err := Dial(addr)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer c.Close()
+					rs, err := c.Login(gemstone.SystemUser, "swordfish")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer rs.Logout()
+					for i := 0; i < commits; i++ {
+						val := w*100 + i + 1
+						committed := false
+						for attempt := 0; attempt < 20 && !committed; attempt++ {
+							src := fmt.Sprintf("| o | o := World!cobj%d. o at: #v put: %d", w, val)
+							if _, _, err := rs.Execute(src); err != nil {
+								t.Error(err)
+								return
+							}
+							tm, err := rs.Commit()
+							if err != nil {
+								// This commit was in (or queued behind) the
+								// torn group; its workspace is discarded.
+								// Redo the write and try again.
+								continue
+							}
+							committed = true
+							lastVal[w] = val
+							timesMu.Lock()
+							all = append(all, tm)
+							timesMu.Unlock()
+						}
+						if !committed {
+							t.Errorf("worker %d never recovered from the crash", w)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			srv.Close()
+			if t.Failed() {
+				db.Close()
+				return
+			}
+			if !fired.Load() {
+				db.Close()
+				t.Fatal("failpoint never fired; the crash was not exercised")
+			}
+			want := base + uint64(workers*commits)
+			if got := uint64(db.Core().TxnManager().LastCommitted()); got != want {
+				db.Close()
+				t.Fatalf("LastCommitted = %v, want %v (rolled-back times must be reused)", got, want)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Recover from disk: the visible state must be exactly the
+			// reported-success state, with gap-free transaction times.
+			re, err := gemstone.Open(dir, gemstone.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			rs, err := re.Login(gemstone.SystemUser, "swordfish")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w := 0; w < workers; w++ {
+				res, err := rs.Run(fmt.Sprintf("World!cobj%d!v", w))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, _ := strconv.Atoi(res); got != lastVal[w] {
+					t.Errorf("after recovery cobj%d = %s, want %d", w, res, lastVal[w])
+				}
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			for i, tm := range all {
+				if want := base + uint64(i+1); tm != want {
+					t.Fatalf("times not gap-free after crash: position %d holds %v, want %v (all %v)", i, tm, want, all)
+				}
+			}
+		})
 	}
 }
