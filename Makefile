@@ -22,6 +22,9 @@ lint:
 test:
 	$(GO) test ./...
 
+# race covers every package, which includes the wire session-authorization
+# regression tests, the executor logout/execute race test, and the obs
+# snapshot-determinism test.
 race:
 	$(GO) test -race ./...
 

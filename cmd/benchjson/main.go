@@ -7,17 +7,19 @@
 //
 // When the output file already exists, other sections are preserved and
 // only the named section is replaced, so successive runs build a history.
+// The ledger format is shared with `gsbench -stats` (the "engine" section)
+// via internal/experiments.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/experiments"
 )
 
 func main() {
@@ -35,27 +37,21 @@ func main() {
 		os.Exit(1)
 	}
 
-	doc := map[string]map[string]map[string]float64{}
+	doc := experiments.Ledger{}
 	if *out != "" {
-		if raw, err := os.ReadFile(*out); err == nil {
-			if err := json.Unmarshal(raw, &doc); err != nil {
-				fmt.Fprintf(os.Stderr, "benchjson: existing %s: %v\n", *out, err)
-				os.Exit(1)
-			}
+		doc, err = experiments.ReadLedger(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	doc[*section] = results
 
-	enc, err := marshal(doc)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
 	if *out == "" {
-		os.Stdout.Write(enc)
+		os.Stdout.Write(experiments.MarshalLedger(doc))
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := experiments.WriteLedger(*out, doc); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
@@ -97,52 +93,4 @@ func parse(f *os.File) (map[string]map[string]float64, error) {
 		}
 	}
 	return results, sc.Err()
-}
-
-// marshal renders the document with sorted keys and stable indentation so
-// the ledger diffs cleanly in version control.
-func marshal(doc map[string]map[string]map[string]float64) ([]byte, error) {
-	var b strings.Builder
-	b.WriteString("{\n")
-	sections := sortedKeys(doc)
-	for i, sec := range sections {
-		fmt.Fprintf(&b, "  %s: {\n", quote(sec))
-		names := sortedKeys(doc[sec])
-		for j, name := range names {
-			fmt.Fprintf(&b, "    %s: {", quote(name))
-			units := sortedKeys(doc[sec][name])
-			for k, u := range units {
-				if k > 0 {
-					b.WriteString(", ")
-				}
-				fmt.Fprintf(&b, "%s: %s", quote(u), strconv.FormatFloat(doc[sec][name][u], 'f', -1, 64))
-			}
-			b.WriteString("}")
-			if j < len(names)-1 {
-				b.WriteString(",")
-			}
-			b.WriteString("\n")
-		}
-		b.WriteString("  }")
-		if i < len(sections)-1 {
-			b.WriteString(",")
-		}
-		b.WriteString("\n")
-	}
-	b.WriteString("}\n")
-	return []byte(b.String()), nil
-}
-
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-func quote(s string) string {
-	enc, _ := json.Marshal(s)
-	return string(enc)
 }

@@ -13,6 +13,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/gemstone"
 	"repro/internal/executor"
@@ -25,6 +26,8 @@ func main() {
 	trackSize := flag.Int("track", 8192, "track size in bytes")
 	replicas := flag.Int("replicas", 1, "track replicas")
 	sysPassword := flag.String("syspass", "swordfish", "SystemUser password (used at bootstrap)")
+	idle := flag.Duration("idletimeout", 0, "drop connections idle longer than this (0 = never)")
+	statsEvery := flag.Duration("statsevery", 0, "dump engine metrics to stderr at this interval (0 = never)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*dbDir, 0o755); err != nil {
@@ -47,13 +50,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gemstone: listen: %v\n", err)
 		os.Exit(1)
 	}
-	srv := wire.Serve(ln, executor.New(db))
+	srv := wire.ServeConfig(ln, executor.New(db), wire.Config{IdleTimeout: *idle})
 	fmt.Printf("gemstone: serving %s on %s (last committed time %v)\n",
 		*dbDir, srv.Addr(), db.Core().TxnManager().LastCommitted())
+
+	stop := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					fmt.Fprintf(os.Stderr, "--- stats %s ---\n%s", time.Now().Format(time.RFC3339), db.Stats())
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
+	close(stop)
 	fmt.Println("\ngemstone: shutting down")
 	srv.Close()
 }

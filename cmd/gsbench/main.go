@@ -7,6 +7,7 @@
 //	gsbench -list
 //	gsbench -exp fig1
 //	gsbench -all
+//	gsbench -stats -ledger BENCH_2.json
 package main
 
 import (
@@ -21,9 +22,31 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	exp := flag.String("exp", "", "run one experiment by id")
 	all := flag.Bool("all", false, "run every experiment")
+	stats := flag.Bool("stats", false, "run the engine-counter workload and append an 'engine' section to the ledger")
+	ledger := flag.String("ledger", "", "ledger file for -stats (default: print only)")
 	flag.Parse()
 
 	switch {
+	case *stats:
+		section, err := experiments.EngineStats(os.Stdout, 4, 25)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: stats: %v\n", err)
+			os.Exit(1)
+		}
+		if *ledger == "" {
+			return
+		}
+		doc, err := experiments.ReadLedger(*ledger)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: %v\n", err)
+			os.Exit(1)
+		}
+		doc["engine"] = section
+		if err := experiments.WriteLedger(*ledger, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote engine section to %s\n", *ledger)
 	case *list:
 		for _, e := range experiments.All() {
 			fmt.Printf("%-6s %s\n", e.ID, e.Title)

@@ -8,7 +8,7 @@
 //	opal -db ./mydb          (embedded, no server)
 //
 // Enter OPAL statements; an empty line executes the buffered block.
-// Commands: \commit, \abort, \quit.
+// Commands: \commit, \abort, /stats, \quit.
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"repro/gemstone"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -27,9 +28,13 @@ type session interface {
 	Execute(src string) (result, output string, err error)
 	Commit() (uint64, error)
 	Abort() error
+	Stats() (*obs.Snapshot, error)
 }
 
-type embedded struct{ s *gemstone.Session }
+type embedded struct {
+	s  *gemstone.Session
+	db *gemstone.DB
+}
 
 func (e embedded) Execute(src string) (string, string, error) {
 	r, err := e.s.Execute(src)
@@ -39,13 +44,15 @@ func (e embedded) Commit() (uint64, error) {
 	t, err := e.s.Commit()
 	return uint64(t), err
 }
-func (e embedded) Abort() error { e.s.Abort(); return nil }
+func (e embedded) Abort() error                  { e.s.Abort(); return nil }
+func (e embedded) Stats() (*obs.Snapshot, error) { return e.db.Stats(), nil }
 
 type remote struct{ r *wire.RemoteSession }
 
 func (r remote) Execute(src string) (string, string, error) { return r.r.Execute(src) }
 func (r remote) Commit() (uint64, error)                    { return r.r.Commit() }
 func (r remote) Abort() error                               { return r.r.Abort() }
+func (r remote) Stats() (*obs.Snapshot, error)              { return r.r.Stats() }
 
 func main() {
 	connect := flag.String("connect", "", "server address (remote mode)")
@@ -81,7 +88,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		sess = embedded{s}
+		sess = embedded{s: s, db: db}
 	default:
 		fmt.Fprintln(os.Stderr, "opal: need -connect or -db")
 		os.Exit(2)
@@ -92,7 +99,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("OPAL — blocks end with an empty line; \\commit \\abort \\quit")
+	fmt.Println("OPAL — blocks end with an empty line; \\commit \\abort /stats \\quit")
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var block []string
@@ -122,6 +129,14 @@ func main() {
 				fmt.Printf("abort: %v\n", err)
 			} else {
 				fmt.Println("aborted")
+			}
+			continue
+		case "/stats", "\\stats":
+			snap, err := sess.Stats()
+			if err != nil {
+				fmt.Printf("stats: %v\n", err)
+			} else {
+				fmt.Print(snap.String())
 			}
 			continue
 		case "":

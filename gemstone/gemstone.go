@@ -26,6 +26,7 @@ import (
 	"repro/internal/auth"
 	"repro/internal/calculus"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/oop"
 	"repro/internal/opal"
 	"repro/internal/path"
@@ -104,6 +105,12 @@ func (db *DB) Close() error { return db.core.Close() }
 // Core exposes the underlying Object Manager for advanced use (experiment
 // harnesses, statistics).
 func (db *DB) Core() *core.DB { return db.core }
+
+// Stats returns a point-in-time snapshot of every engine metric: commit and
+// abort counters, group-commit sizes, track I/O, index-vs-scan counts,
+// latency histograms and the slow-query log. The same snapshot backs the
+// OpStats wire operation and the cmd/gemstone -statsevery dump.
+func (db *DB) Stats() *obs.Snapshot { return db.core.Obs().Snapshot() }
 
 // CreateUser adds a user account (administrators only); convenience that
 // logs in as SystemUser.
@@ -247,6 +254,10 @@ func (se *Session) Commit() (Time, error) { return se.s.Commit() }
 
 // Abort discards pending changes.
 func (se *Session) Abort() { se.s.Abort() }
+
+// Close discards pending changes and retires the session's transaction
+// for good; the session must not be used afterwards.
+func (se *Session) Close() { se.s.Close() }
 
 // SetTimeDial points reads at a past database state; pass Now to return to
 // the present.

@@ -217,7 +217,7 @@ func matchSuppression(sup map[string]map[int]*suppression, f Finding) *suppressi
 func All() []*Analyzer {
 	return []*Analyzer{
 		Locksafe(),
-		Detmap("repro/internal/store", "repro/internal/txn", "repro/internal/wire", "repro/internal/core"),
+		Detmap("repro/internal/store", "repro/internal/txn", "repro/internal/wire", "repro/internal/core", "repro/internal/obs"),
 		Wallclock("repro/internal/oop", "repro/internal/txn", "repro/internal/store", "repro/internal/core", "repro/internal/object", "repro/internal/wire"),
 		Ooppure("repro/internal/oop"),
 	}

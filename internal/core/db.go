@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/auth"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/oop"
 	"repro/internal/store"
 	"repro/internal/txn"
@@ -76,6 +77,16 @@ type DB struct {
 	kernel  Kernel
 	wk      wellKnown
 	dirs    []*maintained // maintained directories
+
+	obs *obs.Registry
+	met coreMetrics
+}
+
+// coreMetrics counts the §4.3 access-path split: associative lookups that
+// went through a maintained index versus full membership scans.
+type coreMetrics struct {
+	indexLookups *obs.Counter
+	scans        *obs.Counter
 }
 
 // Open opens or bootstraps the database under dir.
@@ -83,6 +94,8 @@ func Open(dir string, opts Options) (*DB, error) {
 	if opts.SystemPassword == "" {
 		opts.SystemPassword = "swordfish"
 	}
+	reg := obs.NewRegistry()
+	opts.Store.Obs = reg
 	st, err := store.Open(dir, opts.Store)
 	if err != nil {
 		return nil, err
@@ -94,10 +107,16 @@ func Open(dir string, opts Options) (*DB, error) {
 		symByName:  make(map[string]oop.OOP),
 		symByOOP:   make(map[oop.OOP]string),
 		nextSerial: meta.NextSerial,
+		obs:        reg,
+		met: coreMetrics{
+			indexLookups: reg.Counter("directory.index.lookups"),
+			scans:        reg.Counter("directory.scans"),
+		},
 	}
 	// The transaction manager hands validated commit groups back to the
 	// DB's Linker (applyCommitGroup) for one shared safe-write per group.
 	db.txm = txn.NewManager(meta.LastTime, db.applyCommitGroup)
+	db.txm.Instrument(reg)
 	if meta.Root == oop.Invalid {
 		if err := db.bootstrap(opts.SystemPassword); err != nil {
 			st.Close()
@@ -126,6 +145,9 @@ func (db *DB) TxnManager() *txn.Manager { return db.txm }
 
 // Auth exposes the authorization engine.
 func (db *DB) Auth() *auth.Authorizer { return db.auth }
+
+// Obs returns the database's metrics registry.
+func (db *DB) Obs() *obs.Registry { return db.obs }
 
 // allocSerial hands out a fresh object serial.
 func (db *DB) allocSerial() uint64 {

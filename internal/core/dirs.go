@@ -427,6 +427,7 @@ func (s *Session) IndexLookup(set oop.OOP, path []string, key directory.Key) ([]
 	if !ok {
 		return nil, false
 	}
+	s.db.met.indexLookups.Inc()
 	s.recordRead(set)
 	entries := d.Lookup(key, s.readTime())
 	out := make([]oop.OOP, 0, len(entries))
@@ -442,6 +443,7 @@ func (s *Session) IndexRange(set oop.OOP, path []string, lo, hi *directory.Key, 
 	if !ok {
 		return nil, false
 	}
+	s.db.met.indexLookups.Inc()
 	s.recordRead(set)
 	entries := d.Range(lo, hi, loInc, hiInc, s.readTime())
 	out := make([]oop.OOP, 0, len(entries))

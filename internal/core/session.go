@@ -551,6 +551,13 @@ func (s *Session) Abort() {
 	s.begin()
 }
 
+// Close retires the session: its active transaction is aborted and no new
+// one is begun, so a departed session stops pinning the transaction
+// manager's validation log. The session must not be used after Close.
+func (s *Session) Close() {
+	s.db.txm.Abort(s.tx)
+}
+
 func (s *Session) demotePromoted() {
 	for serial, ob := range s.promoted {
 		s.transients[serial] = ob
@@ -690,6 +697,7 @@ func (s *Session) RemoveFromSet(set, name oop.OOP) error {
 // Members returns the values of all elements of set in the current view,
 // excluding the hidden alias counter.
 func (s *Session) Members(set oop.OOP) ([]oop.OOP, error) {
+	s.db.met.scans.Inc()
 	names, err := s.ElementNames(set)
 	if err != nil {
 		return nil, err

@@ -6,27 +6,39 @@
 package executor
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/gemstone"
+	"repro/internal/obs"
 	"repro/internal/oop"
 )
 
-// SessionID names one remote session.
+// SessionID names one remote session. IDs are drawn from crypto/rand: a
+// session ID doubles as the bearer credential on the wire, so it must not
+// be guessable the way a sequential counter is.
 type SessionID uint64
 
 // ErrNoSession reports an unknown or closed session id.
 var ErrNoSession = errors.New("executor: no such session")
 
+// DefaultSlowQueryNS is the execute-latency threshold beyond which the
+// OPAL source is recorded in the slow-query log.
+const DefaultSlowQueryNS = 100 * 1000 * 1000 // 100ms
+
 // Executor multiplexes user sessions over one database.
 type Executor struct {
 	db *gemstone.DB
 
-	mu       sync.Mutex // guards sessions, nextID
+	mu       sync.Mutex // guards sessions
 	sessions map[SessionID]*remote
-	nextID   SessionID
+
+	slowNS atomic.Uint64 // slow-query threshold in nanoseconds
+	met    execMetrics
 }
 
 type remote struct {
@@ -34,9 +46,58 @@ type remote struct {
 	se *gemstone.Session
 }
 
-// New creates an Executor over an open database.
+// execMetrics instruments the session frontier: how many users are live,
+// how fast their blocks run, and which sources ran slow.
+type execMetrics struct {
+	logins    *obs.Counter
+	logouts   *obs.Counter
+	sessions  *obs.Gauge
+	executeNS *obs.Histogram
+	slow      *obs.SlowLog
+}
+
+// New creates an Executor over an open database, registering its
+// instruments with the database's metrics registry.
 func New(db *gemstone.DB) *Executor {
-	return &Executor{db: db, sessions: make(map[SessionID]*remote), nextID: 1}
+	reg := db.Core().Obs()
+	e := &Executor{
+		db:       db,
+		sessions: make(map[SessionID]*remote),
+		met: execMetrics{
+			logins:    reg.Counter("executor.logins"),
+			logouts:   reg.Counter("executor.logouts"),
+			sessions:  reg.Gauge("executor.sessions"),
+			executeNS: reg.Histogram("executor.execute.ns", obs.LatencyBounds),
+			slow:      reg.SlowLog(),
+		},
+	}
+	e.slowNS.Store(DefaultSlowQueryNS)
+	return e
+}
+
+// Obs returns the metrics registry of the underlying database.
+func (e *Executor) Obs() *obs.Registry { return e.db.Core().Obs() }
+
+// SetSlowQueryThreshold changes the slow-query threshold (nanoseconds).
+func (e *Executor) SetSlowQueryThreshold(ns uint64) { e.slowNS.Store(ns) }
+
+// newSessionIDLocked draws an unguessable, unused session ID. Zero is
+// reserved as "no session" on the wire. Caller holds e.mu.
+func (e *Executor) newSessionIDLocked() (SessionID, error) {
+	var buf [8]byte
+	for tries := 0; tries < 32; tries++ {
+		if _, err := crand.Read(buf[:]); err != nil {
+			return 0, fmt.Errorf("executor: session id: %w", err)
+		}
+		id := SessionID(binary.LittleEndian.Uint64(buf[:]))
+		if id == 0 {
+			continue
+		}
+		if _, taken := e.sessions[id]; !taken {
+			return id, nil
+		}
+	}
+	return 0, errors.New("executor: session id space exhausted")
 }
 
 // Login authenticates a user and opens a session.
@@ -47,9 +108,13 @@ func (e *Executor) Login(user, password string) (SessionID, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	id := e.nextID
-	e.nextID++
+	id, err := e.newSessionIDLocked()
+	if err != nil {
+		return 0, err
+	}
 	e.sessions[id] = &remote{se: se}
+	e.met.logins.Inc()
+	e.met.sessions.Set(int64(len(e.sessions)))
 	return id, nil
 }
 
@@ -72,7 +137,14 @@ func (e *Executor) Execute(id SessionID, source string) (result, output string, 
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.se == nil {
+		return "", "", fmt.Errorf("%w: %d", ErrNoSession, id)
+	}
+	sw := e.met.executeNS.Start()
 	res, err := r.se.Execute(source)
+	if d := sw.Stop(); d >= e.slowNS.Load() {
+		e.met.slow.Record(d, source)
+	}
 	if err != nil {
 		return "", res.Output, err
 	}
@@ -87,6 +159,9 @@ func (e *Executor) Commit(id SessionID) (oop.Time, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.se == nil {
+		return 0, fmt.Errorf("%w: %d", ErrNoSession, id)
+	}
 	return r.se.Commit()
 }
 
@@ -98,18 +173,34 @@ func (e *Executor) Abort(id SessionID) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.se == nil {
+		return fmt.Errorf("%w: %d", ErrNoSession, id)
+	}
 	r.se.Abort()
 	return nil
 }
 
-// Logout closes a session.
+// Logout closes a session. It takes the per-session lock before discarding
+// the workspace, so a logout cannot race an in-flight Execute on the same
+// session, and aborts the session's active transaction so it stops pinning
+// the transaction manager's validation log.
 func (e *Executor) Logout(id SessionID) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.sessions[id]; !ok {
+	r, ok := e.sessions[id]
+	if !ok {
+		e.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrNoSession, id)
 	}
 	delete(e.sessions, id)
+	e.met.logouts.Inc()
+	e.met.sessions.Set(int64(len(e.sessions)))
+	e.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.se != nil {
+		r.se.Close()
+		r.se = nil
+	}
 	return nil
 }
 

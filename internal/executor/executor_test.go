@@ -129,3 +129,89 @@ func TestConcurrentExecutes(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestSessionIDsAreUnguessable(t *testing.T) {
+	e := newExec(t)
+	a, err := e.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == 0 || b == 0 {
+		t.Error("zero session id handed out")
+	}
+	if a == b {
+		t.Error("duplicate session ids")
+	}
+	// Sequential IDs (the old scheme) would make b predictable from a.
+	if b == a+1 || a == b+1 || a == 1 || a == 2 {
+		t.Errorf("session ids look sequential: %d, %d", a, b)
+	}
+}
+
+// TestLogoutExecuteRace drives Logout against in-flight Executes on the
+// same session under the race detector: Logout must take the per-session
+// lock before discarding the workspace, so an Execute either completes on
+// the live session or fails with ErrNoSession — never touches a freed one.
+func TestLogoutExecuteRace(t *testing.T) {
+	e := newExec(t)
+	for round := 0; round < 8; round++ {
+		id, err := e.Login(gemstone.SystemUser, "swordfish")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 5; i++ {
+					_, _, err := e.Execute(id, "World at: #racy put: 1. 2 + 2")
+					if err != nil && !errors.Is(err, ErrNoSession) {
+						t.Errorf("execute during logout: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := e.Logout(id); err != nil && !errors.Is(err, ErrNoSession) {
+				t.Errorf("logout: %v", err)
+			}
+		}()
+		wg.Wait()
+		if _, _, err := e.Execute(id, "1"); !errors.Is(err, ErrNoSession) {
+			t.Errorf("round %d: session alive after logout: %v", round, err)
+		}
+	}
+}
+
+// TestLogoutRetiresTransaction checks a logged-out session stops pinning
+// the transaction manager: its active transaction is aborted, not leaked.
+func TestLogoutRetiresTransaction(t *testing.T) {
+	db, err := gemstone.Open(t.TempDir(), gemstone.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	e := New(db)
+	id, err := e.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Execute(id, "World at: #pin put: 1"); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Stats().Counter("txn.aborts")
+	if err := e.Logout(id); err != nil {
+		t.Fatal(err)
+	}
+	if after := db.Stats().Counter("txn.aborts"); after != before+1 {
+		t.Errorf("txn.aborts %d -> %d; logout did not retire the transaction", before, after)
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Ledger is the BENCH_*.json document: section -> benchmark (or metric
+// group) name -> metric -> value. Sections let one file carry a pre-change
+// baseline, the current numbers, and the engine-counter section side by
+// side; writers replace only their own section.
+type Ledger map[string]map[string]map[string]float64
+
+// ReadLedger loads a ledger file; a missing file yields an empty ledger.
+func ReadLedger(path string) (Ledger, error) {
+	l := Ledger{}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return l, nil
+		}
+		return nil, err
+	}
+	if err := json.Unmarshal(raw, &l); err != nil {
+		return nil, fmt.Errorf("ledger %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// MarshalLedger renders the document with sorted keys and stable
+// indentation so the ledger diffs cleanly in version control.
+func MarshalLedger(doc Ledger) []byte {
+	var b strings.Builder
+	b.WriteString("{\n")
+	sections := sortedKeys(doc)
+	for i, sec := range sections {
+		fmt.Fprintf(&b, "  %s: {\n", quoteJSON(sec))
+		names := sortedKeys(doc[sec])
+		for j, name := range names {
+			fmt.Fprintf(&b, "    %s: {", quoteJSON(name))
+			units := sortedKeys(doc[sec][name])
+			for k, u := range units {
+				if k > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s: %s", quoteJSON(u), strconv.FormatFloat(doc[sec][name][u], 'f', -1, 64))
+			}
+			b.WriteString("}")
+			if j < len(names)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("  }")
+		if i < len(sections)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}
+
+// WriteLedger writes the ledger to path.
+func WriteLedger(path string, doc Ledger) error {
+	return os.WriteFile(path, MarshalLedger(doc), 0o644)
+}
+
+func quoteJSON(s string) string {
+	enc, _ := json.Marshal(s)
+	return string(enc)
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"repro/gemstone"
+	"repro/internal/executor"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// EngineStats drives a scripted multi-client workload over TCP — disjoint
+// commits plus a deliberately conflicting pair — and returns the engine's
+// own counters as a ledger section, fetched through the OpStats wire
+// operation. This is what `gsbench -stats` appends to the BENCH ledger, so
+// the EXPERIMENTS claims (C2 index-vs-scan, C3 abort rates, C6 group
+// sizes) can cite engine counters, not just ns/op.
+func EngineStats(w io.Writer, workers, rounds int) (map[string]map[string]float64, error) {
+	db, cleanup, err := tempDB(gemstone.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := wire.Serve(ln, executor.New(db))
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	// Disjoint writers: every commit should succeed.
+	type client struct {
+		c  *wire.Client
+		rs *wire.RemoteSession
+	}
+	clients := make([]client, workers)
+	for i := range clients {
+		c, err := wire.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		rs, err := c.Login("SystemUser", "swordfish")
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = client{c, rs}
+	}
+	for j := 0; j < rounds; j++ {
+		for i, cl := range clients {
+			src := fmt.Sprintf("World at: #w%dr%d put: %d", i, j, j)
+			// Distinct keys still share the World dictionary, so commits
+			// can conflict on World itself; retry, the standard optimistic
+			// loop (a failed commit refreshes the snapshot).
+			var lastErr error
+			for try := 0; try < 8; try++ {
+				if _, _, err := cl.rs.Execute(src); err != nil {
+					return nil, err
+				}
+				if _, lastErr = cl.rs.Commit(); lastErr == nil {
+					break
+				}
+			}
+			if lastErr != nil {
+				return nil, lastErr
+			}
+		}
+	}
+	// A contending pair on one key: the second committer must abort
+	// (first-committer-wins), populating the conflict counters.
+	for j := 0; j < rounds; j++ {
+		for _, cl := range clients[:2] {
+			if _, _, err := cl.rs.Execute("World at: #hot put: 1"); err != nil {
+				return nil, err
+			}
+		}
+		for _, cl := range clients[:2] {
+			_, _ = cl.rs.Commit() // one of these conflicts by design
+		}
+	}
+	snap, err := clients[0].rs.Stats()
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "engine counters after %d workers x %d rounds (+%d contended):\n%s",
+		workers, rounds, rounds, snap)
+	return engineSection(snap), nil
+}
+
+// engineSection flattens a snapshot into ledger rows: one row per
+// instrument kind, so `"engine": {"counters": {...}}` reads directly.
+func engineSection(s *obs.Snapshot) map[string]map[string]float64 {
+	sec := map[string]map[string]float64{
+		"counters":        {},
+		"gauges":          {},
+		"histogram.count": {},
+		"histogram.mean":  {},
+	}
+	for _, c := range s.Counters {
+		sec["counters"][c.Name] = float64(c.Value)
+	}
+	for _, g := range s.Gauges {
+		sec["gauges"][g.Name] = float64(g.Value)
+	}
+	for _, h := range s.Histograms {
+		sec["histogram.count"][h.Name] = float64(h.Count)
+		sec["histogram.mean"][h.Name] = h.Mean()
+	}
+	return sec
+}

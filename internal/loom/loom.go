@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/oop"
 	"repro/internal/store"
 )
@@ -47,6 +48,26 @@ type Memory struct {
 	order    []uint64 // FIFO residency order (LOOM used a clock-ish scheme)
 	capacity int
 	stats    Stats
+	met      loomMetrics
+}
+
+// loomMetrics mirrors Stats into an obs registry so the C10 comparison can
+// cite live fault/eviction counts next to the engine's own numbers.
+type loomMetrics struct {
+	hits      *obs.Counter
+	faults    *obs.Counter
+	evictions *obs.Counter
+	diskBytes *obs.Counter
+}
+
+// Instrument attaches obs counters. A nil registry is a no-op.
+func (m *Memory) Instrument(reg *obs.Registry) {
+	m.met = loomMetrics{
+		hits:      reg.Counter("loom.hits"),
+		faults:    reg.Counter("loom.faults"),
+		evictions: reg.Counter("loom.evictions"),
+		diskBytes: reg.Counter("loom.disk.bytes"),
+	}
 }
 
 // New creates a memory with room for capacity resident objects.
@@ -100,6 +121,8 @@ func (m *Memory) fault(serial uint64) (*object.Object, error) {
 	}
 	m.stats.Faults++
 	m.stats.DiskBytes += uint64(len(raw))
+	m.met.faults.Inc()
+	m.met.diskBytes.Add(uint64(len(raw)))
 	ob, err := store.DecodeObject(raw)
 	if err != nil {
 		return nil, err
@@ -110,6 +133,7 @@ func (m *Memory) fault(serial uint64) (*object.Object, error) {
 		m.order = m.order[1:]
 		delete(m.cache, victim)
 		m.stats.Evictions++
+		m.met.evictions.Inc()
 	}
 	m.cache[serial] = ob
 	m.order = append(m.order, serial)
@@ -120,6 +144,7 @@ func (m *Memory) fault(serial uint64) (*object.Object, error) {
 func (m *Memory) Object(o oop.OOP) (*object.Object, error) {
 	if ob, ok := m.cache[o.Serial()]; ok {
 		m.stats.Hits++
+		m.met.hits.Inc()
 		return ob, nil
 	}
 	return m.fault(o.Serial())

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/oop"
 )
 
@@ -29,6 +30,11 @@ type Options struct {
 	TrackSize   int // bytes per track; default 8192
 	Replicas    int // replica files; default 1
 	CacheTracks int // in-memory track cache capacity; default 256
+
+	// Obs, when non-nil, receives the store's instruments (track I/O,
+	// cache hits, replica fallbacks, Apply latency). Nil disables
+	// instrumentation at zero cost.
+	Obs *obs.Registry
 
 	// FailPoint, when non-nil, is consulted at each named step of the
 	// commit protocol. Returning an error simulates a crash at that step:
@@ -93,6 +99,15 @@ type Store struct {
 	archive         map[uint64][]byte // offline media simulation: serial -> record
 	dirTrackPending uint32            // directory chain head for the superblock being written
 	entriesPerPage  int
+
+	met storeMetrics
+}
+
+// storeMetrics holds the commit-path instruments. Atomic instruments, not
+// guarded state: recording never needs s.mu.
+type storeMetrics struct {
+	applies *obs.Counter   // Apply calls that reached the superblock flip
+	applyNS *obs.Histogram // whole Apply latency, boxer through flip
 }
 
 // Commit is one atomic batch of changes.
@@ -121,6 +136,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		archive:   make(map[uint64][]byte),
 	}
 	s.entriesPerPage = tm.PayloadSize() / locatorLen
+	s.met = storeMetrics{
+		applies: opts.Obs.Counter("store.applies"),
+		applyNS: opts.Obs.Histogram("store.apply.ns", obs.LatencyBounds),
+	}
+	tm.instrument(opts.Obs)
 	// No other goroutine can reach a store that Open has not returned, but
 	// the helpers below touch guarded state, so take the lock anyway and
 	// keep the locking discipline uniform.
@@ -422,8 +442,10 @@ func (s *Store) Exists(o oop.OOP) bool {
 // durable and visible; on any error (including injected crashes) the
 // previous state remains the recoverable one.
 func (s *Store) Apply(c Commit) error {
+	sw := s.met.applyNS.Start()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer sw.Stop()
 
 	// --- Boxer: pack serialized records contiguously into fresh tracks ---
 	payload := s.tm.PayloadSize()
@@ -626,6 +648,7 @@ func (s *Store) Apply(c Commit) error {
 	for idx, page := range dirty {
 		s.pageCache[idx] = page
 	}
+	s.met.applies.Inc()
 	return nil
 }
 

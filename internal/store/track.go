@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // TrackManager performs whole-track I/O against a set of replica files,
@@ -33,6 +35,21 @@ type TrackManager struct {
 	scratch  []byte // reusable whole-group track-image encode buffer
 
 	stats TrackStats
+	met   trackMetrics
+}
+
+// trackMetrics mirrors TrackStats into the obs registry so live counters
+// are visible without polling Stats(). Atomic instruments, not guarded
+// state. The per-replica fallback counters give the §6 availability story a
+// per-device view: which mirror is serving reads the primary lost.
+type trackMetrics struct {
+	reads        *obs.Counter // device track reads (cache misses)
+	writes       *obs.Counter // per-replica track writes
+	bytesRead    *obs.Counter
+	bytesWritten *obs.Counter
+	cacheHits    *obs.Counter
+	syncs        *obs.Counter
+	fallbacks    []*obs.Counter // indexed by the replica that salvaged the read
 }
 
 // TrackStats counts physical I/O for benchmark reporting.
@@ -104,6 +121,24 @@ func (tm *TrackManager) Allocate(n int) uint32 {
 	return first
 }
 
+// instrument attaches the obs registry's counters. A nil registry hands
+// out nil (no-op) instruments, so this is unconditional in Open.
+func (tm *TrackManager) instrument(reg *obs.Registry) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	tm.met = trackMetrics{
+		reads:        reg.Counter("store.track.reads"),
+		writes:       reg.Counter("store.track.writes"),
+		bytesRead:    reg.Counter("store.track.bytes.read"),
+		bytesWritten: reg.Counter("store.track.bytes.written"),
+		cacheHits:    reg.Counter("store.cache.hits"),
+		syncs:        reg.Counter("store.syncs"),
+	}
+	for i := range tm.replicas {
+		tm.met.fallbacks = append(tm.met.fallbacks, reg.Counter(fmt.Sprintf("store.replica.fallbacks.r%d", i)))
+	}
+}
+
 // Stats returns a snapshot of the I/O counters.
 func (tm *TrackManager) Stats() TrackStats {
 	tm.mu.Lock()
@@ -162,6 +197,8 @@ func (tm *TrackManager) WriteGroup(group map[uint32][]byte) error {
 		tm.seekToLocked(n)
 		tm.stats.Writes += uint64(len(tm.replicas))
 	}
+	tm.met.writes.Add(uint64(len(nums) * len(tm.replicas)))
+	tm.met.bytesWritten.Add(uint64(need * len(tm.replicas)))
 	if err := tm.fanoutLocked(slab, nums); err != nil {
 		return err
 	}
@@ -218,6 +255,7 @@ func (tm *TrackManager) ReadTrack(n uint32) ([]byte, error) {
 	defer tm.mu.Unlock()
 	if p, ok := tm.cache[n]; ok {
 		tm.stats.CacheHits++
+		tm.met.cacheHits.Inc()
 		return p, nil
 	}
 	buf := make([]byte, tm.trackSize)
@@ -229,12 +267,17 @@ func (tm *TrackManager) ReadTrack(n uint32) ([]byte, error) {
 			continue
 		}
 		tm.stats.Reads++
+		tm.met.reads.Inc()
+		tm.met.bytesRead.Add(uint64(tm.trackSize))
 		if getU32(buf[4:]) != trackMagic || crc32.ChecksumIEEE(buf[trackHeaderLen:]) != getU32(buf[0:]) {
 			lastErr = fmt.Errorf("store: checksum failure on track %d replica %d", n, i)
 			continue
 		}
 		if i > 0 {
 			tm.stats.ReplicaFallbacks++
+			if i < len(tm.met.fallbacks) {
+				tm.met.fallbacks[i].Inc()
+			}
 		}
 		p := append([]byte(nil), buf[trackHeaderLen:]...)
 		tm.cacheInsertLocked(n, p)
@@ -277,6 +320,7 @@ func (tm *TrackManager) ReadRange(track uint32, offset, length int) ([]byte, err
 func (tm *TrackManager) Sync() error {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
+	tm.met.syncs.Inc()
 	if len(tm.replicas) <= 1 {
 		for _, f := range tm.replicas {
 			if err := f.Sync(); err != nil {

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/oop"
 )
 
@@ -97,6 +98,41 @@ type Manager struct {
 
 	applier  Applier
 	flushTok chan struct{} // capacity 1: holding the token = leading a flush
+	met      metrics
+}
+
+// metrics are the manager's obs instruments. All fields are nil (no-op)
+// until Instrument attaches a registry; every instrument is safe for
+// concurrent use, so none of this is guarded by mu.
+type metrics struct {
+	begun          *obs.Counter
+	commits        *obs.Counter
+	aborts         *obs.Counter // explicit session aborts
+	conflictsRead  *obs.Counter // read-write conflicts at validation
+	conflictsWrite *obs.Counter // write-write conflicts at validation
+	groupAborts    *obs.Counter // commits rolled back with a failed group
+	groups         *obs.Counter // durability groups flushed
+	groupSize      *obs.Histogram
+	gatherSpins    *obs.Histogram // yields spent gathering each group
+	validateNS     *obs.Histogram // admission: commit-lock wait + validation
+}
+
+// Instrument attaches the manager's counters to a registry. Call before
+// the manager serves concurrent sessions; a nil registry leaves
+// instrumentation disabled.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	m.met = metrics{
+		begun:          reg.Counter("txn.begun"),
+		commits:        reg.Counter("txn.commits"),
+		aborts:         reg.Counter("txn.aborts"),
+		conflictsRead:  reg.Counter("txn.conflicts.read"),
+		conflictsWrite: reg.Counter("txn.conflicts.write"),
+		groupAborts:    reg.Counter("txn.group.aborts"),
+		groups:         reg.Counter("txn.groups"),
+		groupSize:      reg.Histogram("txn.group.size", obs.SizeBounds),
+		gatherSpins:    reg.Histogram("txn.gather.spins", obs.SizeBounds),
+		validateNS:     reg.Histogram("txn.validate.ns", obs.LatencyBounds),
+	}
 }
 
 // NewManager creates a Manager whose next transaction time follows
@@ -125,6 +161,7 @@ func (m *Manager) Begin() Txn {
 	m.nextID++
 	m.active[t.ID] = t.Snapshot
 	m.stats.Begun++
+	m.met.begun.Inc()
 	return t
 }
 
@@ -134,9 +171,11 @@ func (m *Manager) Begin() Txn {
 // is consumed. Read-only transactions (empty writes) validate but are not
 // assigned a time and do not wait for any group.
 func (m *Manager) Commit(t Txn, reads, writes map[oop.OOP]struct{}, payload any) (oop.Time, error) {
+	sw := m.met.validateNS.Start()
 	m.mu.Lock()
 	commit, p, err := m.admitLocked(t, reads, writes, payload)
 	m.mu.Unlock()
+	sw.Stop()
 	if err != nil || p == nil {
 		return commit, err
 	}
@@ -179,12 +218,15 @@ func (m *Manager) admitLocked(t Txn, reads, writes map[oop.OOP]struct{}, payload
 		m.stats.Conflicts++
 		m.finishLocked(t.ID)
 		if _, isRead := reads[clash]; isRead {
+			m.met.conflictsRead.Inc()
 			return 0, nil, fmt.Errorf("%w: %v written at %v after snapshot %v", ErrConflict, clash, when, snap)
 		}
+		m.met.conflictsWrite.Inc()
 		return 0, nil, fmt.Errorf("%w: write-write on %v at %v after snapshot %v", ErrConflict, clash, when, snap)
 	}
 	if len(writes) == 0 {
 		m.stats.Committed++
+		m.met.commits.Inc()
 		m.finishLocked(t.ID)
 		return snap, nil, nil
 	}
@@ -203,6 +245,7 @@ func (m *Manager) admitLocked(t Txn, reads, writes map[oop.OOP]struct{}, payload
 	if m.applier == nil {
 		m.lastPublished = commit
 		m.stats.Committed++
+		m.met.commits.Inc()
 		m.trimLocked()
 		return commit, nil, nil
 	}
@@ -248,10 +291,11 @@ func (m *Manager) flushGroup() {
 	m.mu.Lock()
 	want := m.lastGroup
 	m.mu.Unlock()
+	spins := 0
 	if want > 1 {
 		// Sleeping is far too coarse for a window this small (millisecond
 		// timer granularity vs a ~100µs sync), so yield-spin instead.
-		for i := 0; i < gatherSpins; i++ {
+		for ; spins < gatherSpins; spins++ {
 			m.mu.Lock()
 			n := len(m.pending)
 			m.mu.Unlock()
@@ -269,6 +313,8 @@ func (m *Manager) flushGroup() {
 	if len(group) == 0 {
 		return
 	}
+	m.met.gatherSpins.Observe(uint64(spins))
+	m.met.groupSize.Observe(uint64(len(group)))
 	err := m.applier(group)
 	m.mu.Lock()
 	if err == nil {
@@ -278,6 +324,8 @@ func (m *Manager) flushGroup() {
 		if len(group) > 1 {
 			m.stats.Batched += uint64(len(group))
 		}
+		m.met.groups.Inc()
+		m.met.commits.Add(uint64(len(group)))
 		m.trimLocked()
 		m.mu.Unlock()
 		for _, p := range group {
@@ -293,6 +341,7 @@ func (m *Manager) flushGroup() {
 	m.pending = nil
 	m.rollbackUnpublishedLocked()
 	m.mu.Unlock()
+	m.met.groupAborts.Add(uint64(len(group) + len(tail)))
 	for _, p := range group {
 		p.err = err
 		close(p.done)
@@ -323,6 +372,7 @@ func (m *Manager) rollbackUnpublishedLocked() {
 
 // Abort discards an active transaction.
 func (m *Manager) Abort(t Txn) {
+	m.met.aborts.Inc()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.finishLocked(t.ID)

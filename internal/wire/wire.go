@@ -15,8 +15,10 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/executor"
+	"repro/internal/obs"
 )
 
 // Op is a request operation.
@@ -29,6 +31,7 @@ const (
 	OpCommit
 	OpAbort
 	OpLogout
+	OpStats
 )
 
 // Request is one client → server frame.
@@ -48,44 +51,64 @@ type Response struct {
 	Result  string
 	Output  string
 	Time    uint64
+	Stats   *obs.Snapshot // OpStats only
 }
+
+// ErrNotAuthorized reports a request naming a session the requesting
+// connection does not own. Session IDs are bearer credentials: every
+// session-scoped op is checked against the connection that logged it in.
+var ErrNotAuthorized = errors.New("wire: session not owned by this connection")
 
 const maxFrame = 16 << 20 // 16 MiB of OPAL source is enough for anyone
 
-func writeFrame(w io.Writer, v any) error {
+// writeFrame encodes v as one length-prefixed gob frame and returns the
+// bytes put on the wire.
+func writeFrame(w io.Writer, v any) (int, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return err
+		return 0, err
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
 	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err := w.Write(buf.Bytes())
-	return err
+	n, err := w.Write(buf.Bytes())
+	return len(hdr) + n, err
 }
 
-func readFrame(r io.Reader, v any) error {
+// readFrame decodes one frame into v and returns the bytes consumed.
+func readFrame(r io.Reader, v any) (int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+		return len(hdr), fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return err
+		return len(hdr), err
 	}
-	return gob.NewDecoder(bytes.NewReader(buf)).Decode(v)
+	return len(hdr) + int(n), gob.NewDecoder(bytes.NewReader(buf)).Decode(v)
+}
+
+// Config tunes a Server.
+type Config struct {
+	// IdleTimeout, when positive, is the longest a connection may sit
+	// without sending a frame before the server drops it (logging its
+	// sessions out). Zero means no deadline — a dead client then pins a
+	// goroutine and its sessions until Close.
+	IdleTimeout time.Duration
 }
 
 // Server accepts connections and dispatches requests to an Executor.
 type Server struct {
 	exec *executor.Executor
 	ln   net.Listener
+	cfg  Config
+	met  wireMetrics
 
 	mu     sync.Mutex // guards closed, conns
 	closed bool
@@ -93,10 +116,43 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// Serve starts a server on the listener. It returns immediately; Close
-// stops it.
+// wireMetrics instruments the network link.
+type wireMetrics struct {
+	framesIn       *obs.Counter
+	framesOut      *obs.Counter
+	bytesIn        *obs.Counter
+	bytesOut       *obs.Counter
+	connsOpen      *obs.Gauge
+	connsTotal     *obs.Counter
+	authRejections *obs.Counter
+	idleDrops      *obs.Counter
+}
+
+// Serve starts a server on the listener with default configuration. It
+// returns immediately; Close stops it.
 func Serve(ln net.Listener, exec *executor.Executor) *Server {
-	s := &Server{exec: exec, ln: ln, conns: make(map[net.Conn]struct{})}
+	return ServeConfig(ln, exec, Config{})
+}
+
+// ServeConfig starts a server with explicit configuration.
+func ServeConfig(ln net.Listener, exec *executor.Executor, cfg Config) *Server {
+	reg := exec.Obs()
+	s := &Server{
+		exec:  exec,
+		ln:    ln,
+		cfg:   cfg,
+		conns: make(map[net.Conn]struct{}),
+		met: wireMetrics{
+			framesIn:       reg.Counter("wire.frames.in"),
+			framesOut:      reg.Counter("wire.frames.out"),
+			bytesIn:        reg.Counter("wire.bytes.in"),
+			bytesOut:       reg.Counter("wire.bytes.out"),
+			connsOpen:      reg.Gauge("wire.conns.open"),
+			connsTotal:     reg.Counter("wire.conns.total"),
+			authRejections: reg.Counter("wire.auth.rejections"),
+			idleDrops:      reg.Counter("wire.conns.idle.drops"),
+		},
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -141,11 +197,14 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	s.met.connsTotal.Inc()
+	s.met.connsOpen.Add(1)
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		s.met.connsOpen.Add(-1)
 	}()
 	// Sessions opened on this connection, cleaned up on disconnect.
 	owned := map[executor.SessionID]struct{}{}
@@ -162,14 +221,27 @@ func (s *Server) handle(conn net.Conn) {
 		}
 	}()
 	for {
+		if d := s.cfg.IdleTimeout; d > 0 {
+			//lint:ignore wallclock connection deadline only; never reaches committed state
+			_ = conn.SetReadDeadline(time.Now().Add(d))
+		}
 		var req Request
-		if err := readFrame(conn, &req); err != nil {
+		n, err := readFrame(conn, &req)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				s.met.idleDrops.Inc()
+			}
 			return
 		}
+		s.met.framesIn.Inc()
+		s.met.bytesIn.Add(uint64(n))
 		resp := s.dispatch(&req, owned)
-		if err := writeFrame(conn, resp); err != nil {
+		n, err = writeFrame(conn, resp)
+		if err != nil {
 			return
 		}
+		s.met.framesOut.Inc()
+		s.met.bytesOut.Add(uint64(n))
 	}
 }
 
@@ -183,6 +255,15 @@ func (s *Server) dispatch(req *Request, owned map[executor.SessionID]struct{}) R
 		}
 		owned[id] = struct{}{}
 		return Response{OK: true, Session: uint64(id)}
+	}
+	// Every other op names a session: it must be one this connection logged
+	// in. Without this check any client holding a session ID — or guessing
+	// one — could execute, commit or log out another user's session.
+	if _, ok := owned[executor.SessionID(req.Session)]; !ok {
+		s.met.authRejections.Inc()
+		return fail(fmt.Errorf("%w: %d", ErrNotAuthorized, req.Session))
+	}
+	switch req.Op {
 	case OpExecute:
 		result, output, err := s.exec.Execute(executor.SessionID(req.Session), req.Source)
 		if err != nil {
@@ -206,6 +287,8 @@ func (s *Server) dispatch(req *Request, owned map[executor.SessionID]struct{}) R
 		}
 		delete(owned, executor.SessionID(req.Session))
 		return Response{OK: true}
+	case OpStats:
+		return Response{OK: true, Stats: s.exec.Obs().Snapshot()}
 	}
 	return fail(fmt.Errorf("wire: unknown op %d", req.Op))
 }
@@ -231,11 +314,11 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.conn, req); err != nil {
+	if _, err := writeFrame(c.conn, req); err != nil {
 		return Response{}, err
 	}
 	var resp Response
-	if err := readFrame(c.conn, &resp); err != nil {
+	if _, err := readFrame(c.conn, &resp); err != nil {
 		return Response{}, err
 	}
 	return resp, nil
@@ -293,6 +376,23 @@ func (r *RemoteSession) Abort() error {
 		return errors.New(resp.Error)
 	}
 	return nil
+}
+
+// Stats fetches a snapshot of the server's engine metrics. Stats is
+// session-scoped like every other op: the connection must own a live
+// session to introspect the server.
+func (r *RemoteSession) Stats() (*obs.Snapshot, error) {
+	resp, err := r.c.roundTrip(Request{Op: OpStats, Session: r.id})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Error)
+	}
+	if resp.Stats == nil {
+		return &obs.Snapshot{}, nil
+	}
+	return resp.Stats, nil
 }
 
 // Logout closes the remote session.
