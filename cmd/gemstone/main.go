@@ -25,9 +25,11 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7833", "listen address")
 	trackSize := flag.Int("track", 8192, "track size in bytes")
 	replicas := flag.Int("replicas", 1, "track replicas")
+	quorum := flag.Int("quorum", 1, "minimum replica arms a commit must reach durably")
 	sysPassword := flag.String("syspass", "swordfish", "SystemUser password (used at bootstrap)")
 	idle := flag.Duration("idletimeout", 0, "drop connections idle longer than this (0 = never)")
 	statsEvery := flag.Duration("statsevery", 0, "dump engine metrics to stderr at this interval (0 = never)")
+	scrubEvery := flag.Duration("scrubevery", 0, "run an online replica scrub pass at this interval (0 = never)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*dbDir, 0o755); err != nil {
@@ -37,6 +39,7 @@ func main() {
 	db, err := gemstone.Open(*dbDir, gemstone.Options{
 		TrackSize:      *trackSize,
 		Replicas:       *replicas,
+		WriteQuorum:    *quorum,
 		SystemPassword: *sysPassword,
 	})
 	if err != nil {
@@ -63,6 +66,31 @@ func main() {
 				select {
 				case <-tick.C:
 					fmt.Fprintf(os.Stderr, "--- stats %s ---\n%s", time.Now().Format(time.RFC3339), db.Stats())
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	if *scrubEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*scrubEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					res := db.Scrub()
+					if res.Repaired > 0 || res.Lost > 0 {
+						fmt.Fprintf(os.Stderr, "gemstone: scrub: %d tracks scanned, %d repaired, %d lost\n",
+							res.Scanned, res.Repaired, res.Lost)
+						for _, h := range db.Health() {
+							if h.State != "healthy" {
+								fmt.Fprintf(os.Stderr, "gemstone: replica %d (%s): %s %s\n",
+									h.Replica, h.Path, h.State, h.LastError)
+							}
+						}
+					}
 				case <-stop:
 					return
 				}

@@ -8,7 +8,7 @@
 //	opal -db ./mydb          (embedded, no server)
 //
 // Enter OPAL statements; an empty line executes the buffered block.
-// Commands: \commit, \abort, /stats, \quit.
+// Commands: \commit, \abort, /stats, /health, \quit.
 package main
 
 import (
@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/gemstone"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -29,6 +31,7 @@ type session interface {
 	Commit() (uint64, error)
 	Abort() error
 	Stats() (*obs.Snapshot, error)
+	Health() ([]store.ArmHealth, error)
 }
 
 type embedded struct {
@@ -44,8 +47,9 @@ func (e embedded) Commit() (uint64, error) {
 	t, err := e.s.Commit()
 	return uint64(t), err
 }
-func (e embedded) Abort() error                  { e.s.Abort(); return nil }
-func (e embedded) Stats() (*obs.Snapshot, error) { return e.db.Stats(), nil }
+func (e embedded) Abort() error                         { e.s.Abort(); return nil }
+func (e embedded) Stats() (*obs.Snapshot, error)        { return e.db.Stats(), nil }
+func (e embedded) Health() ([]store.ArmHealth, error)   { return e.db.Health(), nil }
 
 type remote struct{ r *wire.RemoteSession }
 
@@ -53,6 +57,7 @@ func (r remote) Execute(src string) (string, string, error) { return r.r.Execute
 func (r remote) Commit() (uint64, error)                    { return r.r.Commit() }
 func (r remote) Abort() error                               { return r.r.Abort() }
 func (r remote) Stats() (*obs.Snapshot, error)              { return r.r.Stats() }
+func (r remote) Health() ([]store.ArmHealth, error)         { return r.r.Health() }
 
 func main() {
 	connect := flag.String("connect", "", "server address (remote mode)")
@@ -65,7 +70,7 @@ func main() {
 	var sess session
 	switch {
 	case *connect != "":
-		c, err := wire.Dial(*connect)
+		c, err := wire.DialRetry(*connect, 3*time.Second, 5)
 		if err != nil {
 			fatal(err)
 		}
@@ -99,7 +104,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("OPAL — blocks end with an empty line; \\commit \\abort /stats \\quit")
+	fmt.Println("OPAL — blocks end with an empty line; \\commit \\abort /stats /health \\quit")
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var block []string
@@ -137,6 +142,21 @@ func main() {
 				fmt.Printf("stats: %v\n", err)
 			} else {
 				fmt.Print(snap.String())
+			}
+			continue
+		case "/health", "\\health":
+			arms, err := sess.Health()
+			if err != nil {
+				fmt.Printf("health: %v\n", err)
+				continue
+			}
+			for _, h := range arms {
+				fmt.Printf("replica %d  %-8s  fallbacks=%d repairs=%d  %s",
+					h.Replica, h.State, h.Fallbacks, h.Repairs, h.Path)
+				if h.LastError != "" {
+					fmt.Printf("  (%s)", h.LastError)
+				}
+				fmt.Println()
 			}
 			continue
 		case "":

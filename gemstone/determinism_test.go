@@ -6,6 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/iofault"
+	"repro/internal/store"
 )
 
 // TestReplayProducesIdenticalReplicas builds two fresh databases, replays
@@ -68,5 +71,101 @@ func TestReplayProducesIdenticalReplicas(t *testing.T) {
 	}
 	if !bytes.Equal(read(dirA, 0), read(dirA, 1)) {
 		t.Error("replicas within one database differ; safe-write fan-out is not deterministic")
+	}
+}
+
+// TestFaultedReplayConvergesBitIdentical replays the same workload as the
+// determinism test into a clean three-arm database and into one whose
+// middle arm suffers a torn write mid-replay (degrading it). After a scrub
+// and a rebuild of the torn arm, all three faulted-run files must be
+// bit-identical to the clean run's: fault handling, read-repair and
+// rebuild may not leak any nondeterminism into the track images.
+func TestFaultedReplayConvergesBitIdentical(t *testing.T) {
+	workload := func(db *DB) {
+		t.Helper()
+		s, err := db.Login(SystemUser, "swordfish")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.MustRun(`Object subclass: 'Part' instVarNames: #('name' 'weight')`)
+		if _, err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			s.MustRun(fmt.Sprintf(
+				"| p | p := Part new. p at: #name put: 'part-%d'. p at: #weight put: %d. World at: #part%d put: p",
+				i, i*10, i))
+			if _, err := s.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 8; i += 2 {
+			s.MustRun(fmt.Sprintf("World!part%d at: #weight put: %d", i, i*10+1))
+			if _, err := s.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	cleanDir, faultDir := t.TempDir(), t.TempDir()
+
+	clean, err := Open(cleanDir, Options{Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(clean)
+	if err := clean.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	faulted, err := Open(faultDir, Options{
+		Replicas: 3,
+		OpenReplica: func(path string, replica int) (store.ReplicaFile, error) {
+			if replica != 1 {
+				return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+			}
+			// A single torn write past the bootstrap, mid-replay. The arm
+			// degrades there and its ordinals freeze, so Rebuild's writes
+			// (the next this device sees) run outside any fault window.
+			return iofault.Open(path, iofault.Schedule{Rules: []iofault.Rule{
+				{Op: iofault.OpWrite, Kind: iofault.Torn, From: 25, To: 25},
+			}})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload(faulted)
+	if faulted.Health()[1].State != store.ArmDegraded.String() {
+		t.Fatalf("arm 1 %s after torn write, want degraded", faulted.Health()[1].State)
+	}
+	if res := faulted.Scrub(); res.Lost != 0 {
+		t.Fatalf("scrub lost %d tracks", res.Lost)
+	}
+	if err := faulted.Rebuild(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range faulted.Health() {
+		if h.State != store.ArmHealthy.String() {
+			t.Errorf("replica %d %s after rebuild (%s)", h.Replica, h.State, h.LastError)
+		}
+	}
+	if err := faulted.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(dir string, replica int) []byte {
+		t.Helper()
+		raw, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("replica%d.gs", replica)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	want := read(cleanDir, 0)
+	for r := 0; r < 3; r++ {
+		if got := read(faultDir, r); !bytes.Equal(want, got) {
+			t.Errorf("faulted replica%d.gs differs from clean replay (%d vs %d bytes)", r, len(got), len(want))
+		}
 	}
 }

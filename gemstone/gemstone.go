@@ -55,6 +55,14 @@ type Options struct {
 	CacheTracks    int    // in-memory track cache (default 256)
 	SystemPassword string // SystemUser password (default "swordfish")
 
+	// WriteQuorum is the minimum number of replica arms a commit must
+	// reach durably; arms that fail are degraded and skipped (default 1).
+	WriteQuorum int
+
+	// OpenReplica, when non-nil, supplies each replica arm's device —
+	// the fault-injection hook (see internal/iofault).
+	OpenReplica store.OpenReplicaFunc
+
 	// FailPoint, when non-nil, is consulted at each named step of the
 	// commit protocol; returning an error simulates a crash at that step
 	// (see store.Options). For recovery testing only.
@@ -78,6 +86,8 @@ func Open(dir string, opts Options) (*DB, error) {
 			TrackSize:   opts.TrackSize,
 			Replicas:    opts.Replicas,
 			CacheTracks: opts.CacheTracks,
+			WriteQuorum: opts.WriteQuorum,
+			OpenReplica: opts.OpenReplica,
 			FailPoint:   opts.FailPoint,
 		},
 		SystemPassword: opts.SystemPassword,
@@ -111,6 +121,21 @@ func (db *DB) Core() *core.DB { return db.core }
 // latency histograms and the slow-query log. The same snapshot backs the
 // OpStats wire operation and the cmd/gemstone -statsevery dump.
 func (db *DB) Stats() *obs.Snapshot { return db.core.Obs().Snapshot() }
+
+// Health reports the state of every replica arm: healthy, suspect (media
+// damage seen; still written and scrub-promotable) or degraded (missed
+// writes; excluded until rebuilt). The same report backs the OpHealth
+// wire operation and cmd/opal's /health command.
+func (db *DB) Health() []store.ArmHealth { return db.core.Store().Health() }
+
+// Scrub runs one online scrub pass over every allocated track, repairing
+// damaged copies from a valid arm. Commits proceed concurrently with the
+// sweep.
+func (db *DB) Scrub() store.ScrubResult { return db.core.Store().Scrub() }
+
+// Rebuild reconstructs a degraded replica arm bit-for-bit from the
+// surviving arms and reinstates it to healthy.
+func (db *DB) Rebuild(replica int) error { return db.core.Store().Rebuild(replica) }
 
 // CreateUser adds a user account (administrators only); convenience that
 // logs in as SystemUser.

@@ -214,11 +214,14 @@ func matchSuppression(sup map[string]map[int]*suppression, f Finding) *suppressi
 }
 
 // All returns the production analyzer set with the repository's scoping.
+// internal/iofault sits in the detmap and wallclock scopes (and locksafe is
+// global): a fault schedule that iterated a map or read the wall clock
+// would make failure replays nondeterministic.
 func All() []*Analyzer {
 	return []*Analyzer{
 		Locksafe(),
-		Detmap("repro/internal/store", "repro/internal/txn", "repro/internal/wire", "repro/internal/core", "repro/internal/obs"),
-		Wallclock("repro/internal/oop", "repro/internal/txn", "repro/internal/store", "repro/internal/core", "repro/internal/object", "repro/internal/wire"),
+		Detmap("repro/internal/store", "repro/internal/txn", "repro/internal/wire", "repro/internal/core", "repro/internal/obs", "repro/internal/iofault"),
+		Wallclock("repro/internal/oop", "repro/internal/txn", "repro/internal/store", "repro/internal/core", "repro/internal/object", "repro/internal/wire", "repro/internal/iofault"),
 		Ooppure("repro/internal/oop"),
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/gemstone"
 	"repro/internal/obs"
 	"repro/internal/oop"
+	"repro/internal/store"
 )
 
 // SessionID names one remote session. IDs are drawn from crypto/rand: a
@@ -80,6 +81,10 @@ func (e *Executor) Obs() *obs.Registry { return e.db.Core().Obs() }
 
 // SetSlowQueryThreshold changes the slow-query threshold (nanoseconds).
 func (e *Executor) SetSlowQueryThreshold(ns uint64) { e.slowNS.Store(ns) }
+
+// Health reports the replica-arm health of the underlying database (the
+// OpHealth wire operation).
+func (e *Executor) Health() []store.ArmHealth { return e.db.Health() }
 
 // newSessionIDLocked draws an unguessable, unused session ID. Zero is
 // reserved as "no session" on the wire. Caller holds e.mu.

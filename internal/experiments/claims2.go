@@ -177,8 +177,21 @@ func C7(w io.Writer) error {
 		ok = v == oop.MustInt(7)
 	}
 	c.check("read with 2 of 3 replicas damaged", ok, fmt.Sprintf("fallbacks=%d", tm.Stats().ReplicaFallbacks))
+	// The salvaged read healed the damaged arms in place (read-repair), so
+	// the track must survive the loss of the salvaging replica.
+	c.check("salvaged read healed the damaged arms", tm.Stats().ReadRepairs > 0,
+		fmt.Sprintf("read-repairs=%d", tm.Stats().ReadRepairs))
 	for n := uint32(2); n < tm.Tracks(); n++ {
 		_ = tm.DamageTrack(2, n)
+	}
+	tm.DropCache()
+	_, err = st.Load(oop.FromSerial(1))
+	c.check("read after repair survives losing the salvaging replica", err == nil, "")
+	// Damage every copy at once: now the error must surface.
+	for n := uint32(2); n < tm.Tracks(); n++ {
+		for ri := 0; ri < 3; ri++ {
+			_ = tm.DamageTrack(ri, n)
+		}
 	}
 	tm.DropCache()
 	_, err = st.Load(oop.FromSerial(1))

@@ -40,6 +40,7 @@ func All() []Experiment {
 		{"c8", "C8: beyond the ST80 limits (objects and sizes)", C8},
 		{"c9", "C9: entity identity vs relational logical pointers", C9},
 		{"c10", "C10: GemStone representation vs LOOM whole-object faulting", C10},
+		{"c11", "C11: availability under injected replica faults", C11},
 	}
 }
 

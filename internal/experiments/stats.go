@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"repro/gemstone"
 	"repro/internal/executor"
@@ -38,7 +39,7 @@ func EngineStats(w io.Writer, workers, rounds int) (map[string]map[string]float6
 	}
 	clients := make([]client, workers)
 	for i := range clients {
-		c, err := wire.Dial(addr)
+		c, err := wire.DialRetry(addr, 2*time.Second, 5)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,321 @@
+// Package iofault wraps a replica file with a deterministic, seeded
+// fault-injection schedule. The paper's §6 availability story ("requests
+// for replication of data", safe writes of whole track groups) is only
+// credible if the Track Manager's degrade–repair loop is exercised against
+// real device failure modes; this package supplies them on demand: torn
+// writes (a partial transfer followed by an error), silent bit-flips, EIO,
+// ENOSPC, and added latency.
+//
+// Schedules are deterministic by construction. A Rule fires on operation
+// ordinals (the Nth read/write/sync issued against this file) or with a
+// probability drawn from a seeded splitmix64 stream — never from the wall
+// clock, map iteration order, or global randomness — so a failing run
+// replays identically. The wallclock and detmap analyzers cover this
+// package; the only time dependence permitted is time.Sleep for latency
+// injection, which delays an operation without changing any data.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Injected error sentinels. They deliberately do not wrap syscall errnos:
+// tests match on these identities, and the store must treat any write
+// error — injected or real — the same way.
+var (
+	// ErrEIO is an injected unrecoverable I/O error.
+	ErrEIO = errors.New("iofault: injected I/O error")
+	// ErrENOSPC is an injected device-full error.
+	ErrENOSPC = errors.New("iofault: injected no space left on device")
+	// ErrTorn is returned after a torn write: part of the payload reached
+	// the device, the rest did not.
+	ErrTorn = errors.New("iofault: injected torn write")
+)
+
+// Op classifies the intercepted operations.
+type Op uint8
+
+// Operation classes a Rule can match.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpSync
+	opCount
+)
+
+// String names the operation class.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Kind is the fault a matching rule injects.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// EIO fails the operation with ErrEIO; no bytes are transferred.
+	EIO Kind = iota + 1
+	// ENOSPC fails a write with ErrENOSPC; no bytes are transferred.
+	ENOSPC
+	// Torn transfers roughly half of a write's payload, then fails with
+	// ErrTorn — the partial safe-write the commit protocol must survive.
+	Torn
+	// BitFlip lets the operation succeed but flips one bit of the payload
+	// (silent corruption; the track checksum is what must catch it).
+	BitFlip
+	// Latency delays the operation by Rule.Delay, then performs it.
+	Latency
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case EIO:
+		return "eio"
+	case ENOSPC:
+		return "enospc"
+	case Torn:
+		return "torn"
+	case BitFlip:
+		return "bitflip"
+	case Latency:
+		return "latency"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Rule is one entry of a fault schedule. A rule matches an operation when
+// the operation's class equals Op and its 1-based ordinal within that
+// class lies in [From, To] (From 0 means "from the first"; To 0 means "no
+// upper bound"). Among matching ordinals, Every selects each Nth (0 and 1
+// both mean every one), and Prob, when positive, additionally gates the
+// fault on a draw from the schedule's seeded stream. The first matching
+// rule in schedule order fires; later rules are not consulted.
+type Rule struct {
+	Op    Op
+	Kind  Kind
+	From  uint64        // first matching ordinal, 1-based; 0 = first
+	To    uint64        // last matching ordinal; 0 = unbounded
+	Every uint64        // fire each Nth match in the window; 0/1 = all
+	Prob  float64       // if > 0, fire with this probability (seeded)
+	Delay time.Duration // Latency only: how long to stall
+}
+
+// Schedule is a deterministic fault plan: an ordered rule list plus the
+// seed for probabilistic rules and bit positions.
+type Schedule struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// Backend is the wrapped device. *os.File satisfies it, as does the
+// store's ReplicaFile interface — the two are structurally identical, so
+// a *File slots into the Track Manager without either package importing
+// the other.
+type Backend interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+	Stat() (os.FileInfo, error)
+	Truncate(size int64) error
+	Close() error
+}
+
+// Stats counts what a File has done and injected.
+type Stats struct {
+	Reads, Writes, Syncs uint64 // operations intercepted
+	EIOs                 uint64
+	ENOSPCs              uint64
+	TornWrites           uint64
+	BitFlips             uint64
+	Latencies            uint64
+}
+
+// Injected is the total number of faults fired.
+func (s Stats) Injected() uint64 {
+	return s.EIOs + s.ENOSPCs + s.TornWrites + s.BitFlips + s.Latencies
+}
+
+// File wraps a Backend with a fault schedule. Methods are safe for
+// concurrent use; ordinal assignment is serialized under the mutex, so a
+// schedule keyed on ordinals stays deterministic as long as the caller
+// issues operations in a deterministic order (the Track Manager serializes
+// all I/O per arm).
+type File struct {
+	b Backend
+
+	mu    sync.Mutex // guards rules, ops, rng, stats
+	rules []Rule
+	ops   [opCount]uint64
+	rng   uint64
+	stats Stats
+}
+
+// Wrap attaches a schedule to an already-open backend.
+func Wrap(b Backend, sched Schedule) *File {
+	return &File{b: b, rules: append([]Rule(nil), sched.Rules...), rng: sched.Seed}
+}
+
+// Open opens (creating if needed) path and wraps it with the schedule.
+func Open(path string, sched Schedule) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(f, sched), nil
+}
+
+// Stats returns a snapshot of the operation and fault counters.
+func (f *File) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// nextLocked advances the seeded splitmix64 stream.
+func (f *File) nextLocked() uint64 {
+	f.rng += 0x9E3779B97F4A7C15
+	z := f.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// decideLocked assigns the operation its ordinal and returns the first
+// rule that fires on it, if any.
+func (f *File) decideLocked(op Op) (Rule, bool) {
+	f.ops[op]++
+	ord := f.ops[op]
+	for _, r := range f.rules {
+		if r.Op != op {
+			continue
+		}
+		from := r.From
+		if from == 0 {
+			from = 1
+		}
+		if ord < from || (r.To != 0 && ord > r.To) {
+			continue
+		}
+		if r.Every > 1 && (ord-from)%r.Every != 0 {
+			continue
+		}
+		if r.Prob > 0 {
+			// 53-bit uniform draw from the seeded stream.
+			draw := float64(f.nextLocked()>>11) / float64(1<<53)
+			if draw >= r.Prob {
+				continue
+			}
+		}
+		return r, true
+	}
+	return Rule{}, false
+}
+
+// ReadAt implements Backend. A BitFlip rule corrupts the returned buffer,
+// not the device.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Reads++
+	r, fire := f.decideLocked(OpRead)
+	if fire {
+		switch r.Kind {
+		case EIO, ENOSPC:
+			f.stats.EIOs++
+			return 0, ErrEIO
+		case Latency:
+			f.stats.Latencies++
+			time.Sleep(r.Delay)
+		}
+	}
+	n, err := f.b.ReadAt(p, off)
+	if fire && r.Kind == BitFlip && n > 0 {
+		f.stats.BitFlips++
+		i := f.nextLocked() % uint64(n)
+		p[i] ^= 1 << (f.nextLocked() % 8)
+	}
+	return n, err
+}
+
+// WriteAt implements Backend. Torn transfers a prefix then errors;
+// BitFlip writes a corrupted copy and reports success.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Writes++
+	r, fire := f.decideLocked(OpWrite)
+	if !fire {
+		return f.b.WriteAt(p, off)
+	}
+	switch r.Kind {
+	case EIO:
+		f.stats.EIOs++
+		return 0, ErrEIO
+	case ENOSPC:
+		f.stats.ENOSPCs++
+		return 0, ErrENOSPC
+	case Torn:
+		f.stats.TornWrites++
+		n := len(p) / 2
+		if n > 0 {
+			if m, err := f.b.WriteAt(p[:n], off); err != nil {
+				return m, err
+			}
+		}
+		return n, ErrTorn
+	case BitFlip:
+		f.stats.BitFlips++
+		if len(p) == 0 {
+			return f.b.WriteAt(p, off)
+		}
+		c := append([]byte(nil), p...)
+		i := f.nextLocked() % uint64(len(c))
+		c[i] ^= 1 << (f.nextLocked() % 8)
+		return f.b.WriteAt(c, off)
+	case Latency:
+		f.stats.Latencies++
+		time.Sleep(r.Delay)
+	}
+	return f.b.WriteAt(p, off)
+}
+
+// Sync implements Backend.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Syncs++
+	r, fire := f.decideLocked(OpSync)
+	if fire {
+		switch r.Kind {
+		case EIO, ENOSPC:
+			f.stats.EIOs++
+			return ErrEIO
+		case Latency:
+			f.stats.Latencies++
+			time.Sleep(r.Delay)
+		}
+	}
+	return f.b.Sync()
+}
+
+// Stat implements Backend (pass-through; faults never target metadata).
+func (f *File) Stat() (os.FileInfo, error) { return f.b.Stat() }
+
+// Truncate implements Backend (pass-through).
+func (f *File) Truncate(size int64) error { return f.b.Truncate(size) }
+
+// Close implements Backend (pass-through).
+func (f *File) Close() error { return f.b.Close() }

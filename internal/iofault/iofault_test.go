@@ -1,0 +1,171 @@
+package iofault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openTemp(t *testing.T, sched Schedule) *File {
+	t.Helper()
+	f, err := Open(filepath.Join(t.TempDir(), "arm.gs"), sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestIofaultEIOWindow(t *testing.T) {
+	f := openTemp(t, Schedule{Rules: []Rule{{Op: OpWrite, Kind: EIO, From: 2, To: 3}}})
+	p := []byte("payload")
+	if _, err := f.WriteAt(p, 0); err != nil {
+		t.Fatalf("write 1 (before window): %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := f.WriteAt(p, 0); !errors.Is(err, ErrEIO) {
+			t.Fatalf("write %d (in window): %v", i+2, err)
+		}
+	}
+	if _, err := f.WriteAt(p, 0); err != nil {
+		t.Fatalf("write 4 (after window): %v", err)
+	}
+	if st := f.Stats(); st.EIOs != 2 || st.Writes != 4 {
+		t.Errorf("stats = %+v, want 2 EIOs over 4 writes", st)
+	}
+}
+
+func TestIofaultTornWriteLeavesPartialPayload(t *testing.T) {
+	f := openTemp(t, Schedule{Rules: []Rule{{Op: OpWrite, Kind: Torn, From: 1, To: 1}}})
+	p := bytes.Repeat([]byte{0xAB}, 64)
+	n, err := f.WriteAt(p, 0)
+	if !errors.Is(err, ErrTorn) {
+		t.Fatalf("want ErrTorn, got %v", err)
+	}
+	if n != 32 {
+		t.Fatalf("torn write reported %d bytes, want 32", n)
+	}
+	got := make([]byte, 64)
+	m, _ := f.ReadAt(got, 0)
+	if m != 32 || !bytes.Equal(got[:32], p[:32]) {
+		t.Errorf("device holds %d bytes, want exactly the 32-byte prefix", m)
+	}
+}
+
+func TestIofaultENOSPC(t *testing.T) {
+	f := openTemp(t, Schedule{Rules: []Rule{{Op: OpWrite, Kind: ENOSPC}}})
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrENOSPC) {
+		t.Fatalf("want ErrENOSPC, got %v", err)
+	}
+}
+
+func TestIofaultBitFlipCorruptsSilently(t *testing.T) {
+	f := openTemp(t, Schedule{Seed: 7, Rules: []Rule{{Op: OpWrite, Kind: BitFlip, From: 1, To: 1}}})
+	p := bytes.Repeat([]byte{0x00}, 128)
+	if _, err := f.WriteAt(p, 0); err != nil {
+		t.Fatalf("bit-flipped write must report success: %v", err)
+	}
+	got := make([]byte, 128)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		for b := 0; b < 8; b++ {
+			if (got[i]^p[i])&(1<<b) != 0 {
+				diff++
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bits differ, want exactly 1", diff)
+	}
+	// The caller's buffer must be untouched.
+	if !bytes.Equal(p, bytes.Repeat([]byte{0x00}, 128)) {
+		t.Error("BitFlip mutated the caller's buffer")
+	}
+}
+
+func TestIofaultSyncAndReadFaults(t *testing.T) {
+	f := openTemp(t, Schedule{Rules: []Rule{
+		{Op: OpSync, Kind: EIO, From: 1, To: 1},
+		{Op: OpRead, Kind: EIO, From: 1, To: 1},
+	}})
+	if err := f.Sync(); !errors.Is(err, ErrEIO) {
+		t.Errorf("sync: want ErrEIO, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Errorf("second sync: %v", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 4), 0); !errors.Is(err, ErrEIO) {
+		t.Errorf("read: want ErrEIO, got %v", err)
+	}
+}
+
+func TestIofaultLatencyDelaysButPreservesData(t *testing.T) {
+	f := openTemp(t, Schedule{Rules: []Rule{{Op: OpWrite, Kind: Latency, Delay: 5 * time.Millisecond}}})
+	if _, err := f.WriteAt([]byte("slow"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := f.ReadAt(got, 0); err != nil || string(got) != "slow" {
+		t.Errorf("data after latency injection = %q, %v", got, err)
+	}
+	if st := f.Stats(); st.Latencies != 1 {
+		t.Errorf("latencies = %d, want 1", st.Latencies)
+	}
+}
+
+// TestIofaultDeterministicReplay drives two identically seeded files
+// through the same operation sequence and requires identical injected
+// faults and identical device bytes: the schedule must not depend on the
+// wall clock or any global randomness.
+func TestIofaultDeterministicReplay(t *testing.T) {
+	sched := Schedule{Seed: 42, Rules: []Rule{
+		{Op: OpWrite, Kind: BitFlip, Prob: 0.3},
+		{Op: OpWrite, Kind: Torn, From: 9, To: 9},
+	}}
+	run := func(dir string) (Stats, []byte) {
+		f, err := Open(filepath.Join(dir, "arm.gs"), sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		for i := 0; i < 16; i++ {
+			p := bytes.Repeat([]byte{byte(i)}, 32)
+			_, _ = f.WriteAt(p, int64(i)*32)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, "arm.gs"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Stats(), raw
+	}
+	st1, raw1 := run(t.TempDir())
+	st2, raw2 := run(t.TempDir())
+	if st1 != st2 {
+		t.Errorf("fault stats diverged: %+v vs %+v", st1, st2)
+	}
+	if st1.Injected() == 0 {
+		t.Error("schedule injected nothing; test is vacuous")
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Error("device bytes diverged between identical replays")
+	}
+}
+
+func TestIofaultEveryNth(t *testing.T) {
+	f := openTemp(t, Schedule{Rules: []Rule{{Op: OpWrite, Kind: EIO, From: 1, Every: 3}}})
+	fails := 0
+	for i := 0; i < 9; i++ {
+		if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Errorf("Every=3 fired %d times over 9 writes, want 3", fails)
+	}
+}

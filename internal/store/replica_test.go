@@ -1,0 +1,453 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/iofault"
+	"repro/internal/object"
+	"repro/internal/obs"
+	"repro/internal/oop"
+)
+
+// faultOpener wraps the arms named in scheds with iofault schedules; other
+// arms open as plain files.
+func faultOpener(scheds map[int]iofault.Schedule) OpenReplicaFunc {
+	return func(path string, replica int) (ReplicaFile, error) {
+		sched, ok := scheds[replica]
+		if !ok {
+			return osOpenReplica(path, replica)
+		}
+		f, err := iofault.Open(path, sched)
+		if err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+}
+
+func armStates(s *Store) []string {
+	out := []string{}
+	for _, h := range s.Health() {
+		out = append(out, h.State)
+	}
+	return out
+}
+
+func readArmFile(t *testing.T, dir string, replica int) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, "replica"+string(rune('0'+replica))+".gs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestDegradedCommitSurvivesArmFailure: with three arms and write quorum 1,
+// an arm whose device fails mid-workload is degraded and skipped; every
+// commit still succeeds, and the failure is visible in Health and the obs
+// instruments.
+func TestDegradedCommitSurvivesArmFailure(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{
+		TrackSize: 1024, Replicas: 3, Obs: reg,
+		OpenReplica: faultOpener(map[int]iofault.Schedule{
+			2: {Rules: []iofault.Rule{{Op: iofault.OpWrite, Kind: iofault.Torn, From: 4, To: 4},
+				{Op: iofault.OpWrite, Kind: iofault.EIO, From: 5}}},
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := uint64(1); i <= 6; i++ {
+		ob := namedObj(i, 3)
+		if err := s.Apply(Commit{Objects: []*object.Object{ob}, NextSerial: i + 1, Time: oop.Time(i)}); err != nil {
+			t.Fatalf("commit %d with one failing arm: %v", i, err)
+		}
+	}
+	h := s.Health()
+	if h[0].State != "healthy" || h[1].State != "healthy" || h[2].State != "degraded" {
+		t.Fatalf("states = %v, want [healthy healthy degraded]", armStates(s))
+	}
+	if h[2].LastError == "" {
+		t.Error("degraded arm carries no error")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauge("store.replica.state.r2"); got != int64(ArmDegraded) {
+		t.Errorf("state gauge r2 = %d, want %d", got, ArmDegraded)
+	}
+	if snap.Counter("store.commits.degraded") == 0 {
+		t.Error("degraded commits not counted")
+	}
+	// All committed data must be readable without the degraded arm.
+	for i := uint64(1); i <= 6; i++ {
+		if _, err := s.Load(oop.FromSerial(i)); err != nil {
+			t.Errorf("load %d after degradation: %v", i, err)
+		}
+	}
+}
+
+// TestWriteQuorumLostFailsCommit: with quorum 2 of 2, losing an arm must
+// fail the commit rather than silently running on one copy.
+func TestWriteQuorumLostFailsCommit(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{
+		TrackSize: 1024, Replicas: 2, WriteQuorum: 2,
+		OpenReplica: faultOpener(map[int]iofault.Schedule{
+			1: {Rules: []iofault.Rule{{Op: iofault.OpWrite, Kind: iofault.EIO, From: 3}}},
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var sawErr bool
+	for i := uint64(1); i <= 4; i++ {
+		ob := namedObj(i, 2)
+		if err := s.Apply(Commit{Objects: []*object.Object{ob}, NextSerial: i + 1, Time: oop.Time(i)}); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("quorum 2 with a dead arm: expected a commit to fail")
+	}
+}
+
+// TestScrubRepairsBitFlip: a single-track corruption on one arm is found
+// by the scrubber, rewritten from a healthy arm, and counted in the obs
+// instruments. A second pass comes back clean.
+func TestScrubRepairsBitFlip(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, _ := func() (*Store, string) {
+		dir := t.TempDir()
+		s, err := Open(dir, Options{TrackSize: 1024, Replicas: 3, Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, dir
+	}()
+	defer s.Close()
+	for i := uint64(1); i <= 3; i++ {
+		ob := namedObj(i, 3)
+		if err := s.Apply(Commit{Objects: []*object.Object{ob}, NextSerial: i + 1, Time: oop.Time(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tm := s.TrackManager()
+	const victim = 2 // first data track
+	if err := tm.DamageTrack(1, victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.ReadTrackReplica(1, victim); err == nil {
+		t.Fatal("damage did not take")
+	}
+	res := s.Scrub()
+	if res.Repaired == 0 {
+		t.Fatalf("scrub repaired nothing: %+v", res)
+	}
+	if res.Lost != 0 {
+		t.Errorf("scrub lost %d tracks with two healthy arms", res.Lost)
+	}
+	if _, err := tm.ReadTrackReplica(1, victim); err != nil {
+		t.Errorf("track still damaged after scrub: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("store.scrub.passes") != 1 {
+		t.Errorf("scrub passes = %d, want 1", snap.Counter("store.scrub.passes"))
+	}
+	if snap.Counter("store.scrub.repaired") == 0 || snap.Counter("store.repair.tracks") == 0 {
+		t.Error("scrub repairs not counted in obs")
+	}
+	if res2 := s.Scrub(); res2.Repaired != 0 || res2.Lost != 0 {
+		t.Errorf("second pass not clean: %+v", res2)
+	}
+	for _, h := range s.Health() {
+		if h.State != "healthy" {
+			t.Errorf("replica %d %s after clean scrub", h.Replica, h.State)
+		}
+	}
+}
+
+// TestScrubPromotesSuspectArm: an arm marked suspect by a salvaged read is
+// promoted back to healthy by a scrub pass that finds (after repair) no
+// remaining damage.
+func TestScrubPromotesSuspectArm(t *testing.T) {
+	s, _ := openTemp(t, Options{TrackSize: 1024, Replicas: 2})
+	defer s.Close()
+	ob := namedObj(1, 3)
+	if err := s.Apply(Commit{Objects: []*object.Object{ob}, NextSerial: 2, Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tm := s.TrackManager()
+	if err := tm.DamageTrack(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	tm.DropCache()
+	if _, err := s.Load(ob.OOP); err != nil { // salvaged from arm 1, repairs arm 0
+		t.Fatal(err)
+	}
+	if got := s.Health()[0].State; got != "suspect" {
+		t.Fatalf("arm 0 %s after salvaged read, want suspect", got)
+	}
+	s.Scrub()
+	if got := s.Health()[0].State; got != "healthy" {
+		t.Errorf("arm 0 %s after clean scrub, want healthy", got)
+	}
+}
+
+// TestRebuildReinstatesBitIdentical: an arm degraded mid-workload is
+// reconstructed by Rebuild and afterwards all replica files are
+// bit-for-bit identical.
+func TestRebuildReinstatesBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{
+		TrackSize: 1024, Replicas: 3,
+		OpenReplica: faultOpener(map[int]iofault.Schedule{
+			// One torn write degrades the arm; after that the arm sees no
+			// more traffic (its ordinals freeze), so the device has
+			// "recovered" by the time Rebuild writes to it.
+			1: {Rules: []iofault.Rule{{Op: iofault.OpWrite, Kind: iofault.Torn, From: 6, To: 6}}},
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := uint64(1); i <= 8; i++ {
+		ob := namedObj(i, 4)
+		if err := s.Apply(Commit{Objects: []*object.Object{ob}, NextSerial: i + 1, Time: oop.Time(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Health()[1].State; got != "degraded" {
+		t.Fatalf("arm 1 %s, want degraded", got)
+	}
+	s.Scrub()
+	if err := s.Rebuild(1); err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	for _, h := range s.Health() {
+		if h.State != "healthy" {
+			t.Errorf("replica %d %s after rebuild", h.Replica, h.State)
+		}
+	}
+	// Rebuild must also leave the data correct and the files identical.
+	for i := uint64(1); i <= 8; i++ {
+		if _, err := s.Load(oop.FromSerial(i)); err != nil {
+			t.Errorf("load %d after rebuild: %v", i, err)
+		}
+	}
+	if err := s.TrackManager().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r0, r1, r2 := readArmFile(t, dir, 0), readArmFile(t, dir, 1), readArmFile(t, dir, 2)
+	if !bytes.Equal(r0, r2) {
+		t.Errorf("healthy arms differ: %d vs %d bytes", len(r0), len(r2))
+	}
+	if !bytes.Equal(r0, r1) {
+		t.Errorf("rebuilt arm differs from healthy arms: %d vs %d bytes", len(r0), len(r1))
+	}
+	// And the rebuilt arm keeps receiving writes.
+	ob := namedObj(9, 2)
+	if err := s.Apply(Commit{Objects: []*object.Object{ob}, NextSerial: 10, Time: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TrackManager().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(readArmFile(t, dir, 0), readArmFile(t, dir, 1)) {
+		t.Error("arms diverge again after rebuild")
+	}
+}
+
+// TestStaleArmDegradedOnReopen: an arm that missed safe-writes holds a
+// stale superblock whose tracks still pass their checksums. Recovery must
+// take the highest epoch across ALL arms — never let the stale arm answer
+// first — and degrade the lagging arm so reads cannot see old state.
+func TestStaleArmDegradedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	scheds := map[int]iofault.Schedule{
+		// Arm 0 — the one recovery consults first — goes dead mid-run.
+		0: {Rules: []iofault.Rule{{Op: iofault.OpWrite, Kind: iofault.EIO, From: 8}}},
+	}
+	s, err := Open(dir, Options{TrackSize: 1024, Replicas: 3, OpenReplica: faultOpener(scheds)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastVal int64
+	for i := uint64(1); i <= 6; i++ {
+		ob := object.New(oop.FromSerial(1), oop.FromSerial(1), 1, object.FormatNamed)
+		lastVal = int64(i * 100)
+		if err := ob.Store(sym(1), oop.Time(i), oop.MustInt(lastVal)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Apply(Commit{Objects: []*object.Object{ob}, NextSerial: 2, Time: oop.Time(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Health()[0].State; got != "degraded" {
+		t.Fatalf("arm 0 %s before close, want degraded", got)
+	}
+	wantEpoch := s.Meta().Epoch
+	s.Close()
+
+	// Reopen with plain files: the stale arm is indistinguishable from a
+	// healthy one except by its superblock epoch.
+	s2, err := Open(dir, Options{TrackSize: 1024, Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Meta().Epoch; got != wantEpoch {
+		t.Fatalf("recovered epoch %d, want %d: stale arm won the superblock race", got, wantEpoch)
+	}
+	if got := s2.Health()[0].State; got != "degraded" {
+		t.Fatalf("stale arm 0 %s after reopen, want degraded", got)
+	}
+	ob, err := s2.Load(oop.FromSerial(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ob.Fetch(sym(1)); !ok || v != oop.MustInt(lastVal) {
+		t.Errorf("recovered value %v, want %d: read served from stale arm", v, lastVal)
+	}
+	if err := s2.Rebuild(0); err != nil {
+		t.Fatalf("rebuild stale arm: %v", err)
+	}
+	if err := s2.TrackManager().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := readArmFile(t, dir, 0), readArmFile(t, dir, 1)
+	if !bytes.Equal(r0, r1) {
+		t.Errorf("rebuilt arm differs: %d vs %d bytes", len(r0), len(r1))
+	}
+}
+
+// TestCrashMidScrubAtEveryFailpoint: a scrubber running concurrently with
+// a commit that crashes at each protocol step must neither corrupt the
+// recoverable state nor block recovery; after reopen a scrub pass comes
+// back clean and commits resume.
+func TestCrashMidScrubAtEveryFailpoint(t *testing.T) {
+	steps := []string{"before-data", "after-data", "after-table", "after-directory", "before-superblock"}
+	for _, step := range steps {
+		t.Run(step, func(t *testing.T) {
+			dir := t.TempDir()
+			var armed, fired atomic.Bool
+			s, err := Open(dir, Options{TrackSize: 1024, Replicas: 3, FailPoint: func(at string) error {
+				if at == step && armed.Load() && !fired.Swap(true) {
+					return errors.New("injected crash")
+				}
+				return nil
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := namedObj(1, 3)
+			if err := s.Apply(Commit{Objects: []*object.Object{base}, NextSerial: 2, Time: 1}); err != nil {
+				t.Fatal(err)
+			}
+			// Give the scrubber live damage to chew on while commits run.
+			if err := s.TrackManager().DamageTrack(1, 2); err != nil {
+				t.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						s.Scrub()
+					}
+				}
+			}()
+			armed.Store(true)
+			err = s.Apply(Commit{Objects: []*object.Object{namedObj(2, 3)}, NextSerial: 3, Time: 2})
+			close(stop)
+			wg.Wait()
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("crash at %q not surfaced: %v", step, err)
+			}
+			s.Close()
+
+			s2, err := Open(dir, Options{TrackSize: 1024, Replicas: 3})
+			if err != nil {
+				t.Fatalf("recovery after crash at %q: %v", step, err)
+			}
+			defer s2.Close()
+			if s2.Exists(oop.FromSerial(2)) {
+				t.Error("crashed commit visible after recovery")
+			}
+			got, err := s2.Load(oop.FromSerial(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.EquivalentAt(base, oop.TimeNow) {
+				t.Error("recovered object corrupted")
+			}
+			res := s2.Scrub()
+			if res.Lost != 0 {
+				t.Errorf("scrub after recovery lost %d tracks", res.Lost)
+			}
+			if err := s2.Apply(Commit{Objects: []*object.Object{namedObj(2, 2)}, NextSerial: 3, Time: 3}); err != nil {
+				t.Fatalf("commit after recovery: %v", err)
+			}
+			for _, h := range s2.Health() {
+				if h.State == "degraded" {
+					t.Errorf("replica %d degraded after crash recovery: %s", h.Replica, h.LastError)
+				}
+			}
+		})
+	}
+}
+
+// TestReadTrackReturnsPrivateCopy: mutating a payload returned by
+// ReadTrack — from the device path or the cache path — must not corrupt
+// later reads.
+func TestReadTrackReturnsPrivateCopy(t *testing.T) {
+	tm, err := NewTrackManager(t.TempDir(), 1024, 1, 8, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tm.Close()
+	tm.Allocate(1)
+	want := bytes.Repeat([]byte{0x5A}, 64)
+	if err := tm.WriteTrack(0, want); err != nil {
+		t.Fatal(err)
+	}
+	tm.DropCache()
+	p1, err := tm.ReadTrack(0) // device read, fills cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		p1[i] = 0xFF
+	}
+	p2, err := tm.ReadTrack(0) // cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p2[:64], want) {
+		t.Fatal("mutating a device-read payload corrupted the cache")
+	}
+	for i := range p2 {
+		p2[i] = 0x00
+	}
+	p3, err := tm.ReadTrack(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p3[:64], want) {
+		t.Fatal("mutating a cache-hit payload corrupted the cache")
+	}
+}

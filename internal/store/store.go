@@ -31,6 +31,18 @@ type Options struct {
 	Replicas    int // replica files; default 1
 	CacheTracks int // in-memory track cache capacity; default 256
 
+	// WriteQuorum is the minimum number of replica arms a write (and sync)
+	// must reach for a commit to succeed; arms that fail are degraded and
+	// skipped rather than poisoning the commit. Default 1; clamped to
+	// [1, Replicas].
+	WriteQuorum int
+
+	// OpenReplica, when non-nil, supplies each replica arm's device in
+	// place of the plain os.File opener — the hook the fault-injection
+	// tests and availability experiments use to wrap arms with
+	// internal/iofault schedules.
+	OpenReplica OpenReplicaFunc
+
 	// Obs, when non-nil, receives the store's instruments (track I/O,
 	// cache hits, replica fallbacks, Apply latency). Nil disables
 	// instrumentation at zero cost.
@@ -106,8 +118,9 @@ type Store struct {
 // storeMetrics holds the commit-path instruments. Atomic instruments, not
 // guarded state: recording never needs s.mu.
 type storeMetrics struct {
-	applies *obs.Counter   // Apply calls that reached the superblock flip
-	applyNS *obs.Histogram // whole Apply latency, boxer through flip
+	applies  *obs.Counter   // Apply calls that reached the superblock flip
+	degraded *obs.Counter   // successful applies while an arm was degraded
+	applyNS  *obs.Histogram // whole Apply latency, boxer through flip
 }
 
 // Commit is one atomic batch of changes.
@@ -125,7 +138,7 @@ type Commit struct {
 // Open opens or creates a database under dir.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	tm, err := NewTrackManager(dir, opts.TrackSize, opts.Replicas, opts.CacheTracks)
+	tm, err := NewTrackManager(dir, opts.TrackSize, opts.Replicas, opts.CacheTracks, opts.WriteQuorum, opts.OpenReplica)
 	if err != nil {
 		return nil, err
 	}
@@ -137,8 +150,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.entriesPerPage = tm.PayloadSize() / locatorLen
 	s.met = storeMetrics{
-		applies: opts.Obs.Counter("store.applies"),
-		applyNS: opts.Obs.Histogram("store.apply.ns", obs.LatencyBounds),
+		applies:  opts.Obs.Counter("store.applies"),
+		degraded: opts.Obs.Counter("store.commits.degraded"),
+		applyNS:  opts.Obs.Histogram("store.apply.ns", obs.LatencyBounds),
 	}
 	tm.instrument(opts.Obs)
 	// No other goroutine can reach a store that Open has not returned, but
@@ -244,15 +258,34 @@ func parseSuperblock(b []byte, slot uint32) (superblock, bool) {
 // recover selects the newest valid superblock and rebuilds the table
 // directory from it. This is the entire crash-recovery procedure: shadow
 // paging means there is no log to replay.
+//
+// Both slots of EVERY arm are consulted, not just the first arm that
+// parses: an arm that sat degraded while commits continued holds a stale
+// superblock whose tracks still carry valid checksums, so letting arm 0
+// answer first could silently roll the database back. The highest epoch
+// anywhere wins, and any arm whose own best superblock lags it is
+// degraded on the spot — its checksums cannot be trusted to mean
+// "current", only Rebuild reinstates it.
 func (s *Store) recoverLocked() error {
+	nArms := s.tm.Replicas()
 	var best superblock
 	found := false
-	for slot := uint32(0); slot < 2; slot++ {
-		payload, err := s.tm.ReadTrack(slot)
-		if err != nil {
-			continue
-		}
-		if sb, ok := parseSuperblock(payload, slot); ok {
+	armEpoch := make([]uint64, nArms)
+	armValid := make([]bool, nArms)
+	for ri := 0; ri < nArms; ri++ {
+		for slot := uint32(0); slot < 2; slot++ {
+			payload, err := s.tm.ReadTrackReplica(ri, slot)
+			if err != nil {
+				continue
+			}
+			sb, ok := parseSuperblock(payload, slot)
+			if !ok {
+				continue
+			}
+			if !armValid[ri] || sb.meta.Epoch > armEpoch[ri] {
+				armEpoch[ri] = sb.meta.Epoch
+				armValid[ri] = true
+			}
 			if !found || sb.meta.Epoch > best.meta.Epoch {
 				best, found = sb, true
 			}
@@ -269,6 +302,11 @@ func (s *Store) recoverLocked() error {
 	}
 	s.meta = best.meta
 	s.super = best.slot
+	for ri := 0; ri < nArms; ri++ {
+		if !armValid[ri] || armEpoch[ri] < best.meta.Epoch {
+			_ = s.tm.DegradeReplica(ri, fmt.Sprintf("store: superblock epoch %d behind committed %d; arm missed safe-writes", armEpoch[ri], best.meta.Epoch))
+		}
+	}
 	// Trust the committed high-water mark, not the file size: tracks past it
 	// are debris from an interrupted commit and may be overwritten.
 	s.tm.mu.Lock()
@@ -313,11 +351,11 @@ func (s *Store) readDirectoryChain(first uint32, nPages int) ([]uint32, error) {
 func (s *Store) probeStoredTrackSize() (uint32, bool) {
 	s.tm.mu.Lock()
 	defer s.tm.mu.Unlock()
-	if len(s.tm.replicas) == 0 {
+	if len(s.tm.arms) == 0 {
 		return 0, false
 	}
 	buf := make([]byte, trackHeaderLen+superLen)
-	if _, err := s.tm.replicas[0].ReadAt(buf, 0); err != nil {
+	if _, err := s.tm.arms[0].f.ReadAt(buf, 0); err != nil {
 		return 0, false
 	}
 	if getU32(buf[trackHeaderLen:]) != superMagic {
@@ -336,6 +374,17 @@ func (s *Store) Meta() Meta {
 // TrackManager exposes the underlying device for statistics and damage
 // injection in experiments.
 func (s *Store) TrackManager() *TrackManager { return s.tm }
+
+// Health reports the state of every replica arm.
+func (s *Store) Health() []ArmHealth { return s.tm.Health() }
+
+// Scrub runs one online scrub pass over every allocated track, repairing
+// damaged copies from a valid arm. Commits proceed concurrently.
+func (s *Store) Scrub() ScrubResult { return s.tm.Scrub() }
+
+// Rebuild reconstructs the given replica arm from the surviving arms and
+// reinstates it to healthy.
+func (s *Store) Rebuild(replica int) error { return s.tm.Rebuild(replica) }
 
 // Close releases the store.
 func (s *Store) Close() error { return s.tm.Close() }
@@ -649,6 +698,9 @@ func (s *Store) Apply(c Commit) error {
 		s.pageCache[idx] = page
 	}
 	s.met.applies.Inc()
+	if s.tm.DegradedArms() > 0 {
+		s.met.degraded.Inc()
+	}
 	return nil
 }
 

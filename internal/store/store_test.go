@@ -275,9 +275,24 @@ func TestReplicaFallback(t *testing.T) {
 	if tm.Stats().ReplicaFallbacks == 0 {
 		t.Error("expected replica fallbacks to be counted")
 	}
-	// Damaging the last replica too must surface an error, not bad data.
+	// The salvaged read must have healed the damaged arms in place
+	// (read-repair), so a load served by the primary alone succeeds even
+	// with the last replica gone too.
+	if tm.Stats().ReadRepairs == 0 {
+		t.Error("expected read-repair to heal the damaged arms")
+	}
 	for n := uint32(2); n < tm.Tracks(); n++ {
 		_ = tm.DamageTrack(2, n)
+	}
+	tm.DropCache()
+	if _, err := s.Load(ob.OOP); err != nil {
+		t.Errorf("load after read-repair with replica 2 damaged: %v", err)
+	}
+	// Damaging every replica at once must surface an error, not bad data.
+	for n := uint32(2); n < tm.Tracks(); n++ {
+		for ri := 0; ri < 3; ri++ {
+			_ = tm.DamageTrack(ri, n)
+		}
 	}
 	tm.DropCache()
 	if _, err := s.Load(ob.OOP); err == nil {

@@ -3,7 +3,6 @@ package store
 import (
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -11,25 +10,32 @@ import (
 	"repro/internal/obs"
 )
 
-// TrackManager performs whole-track I/O against a set of replica files,
+// TrackManager performs whole-track I/O against a set of replica arms,
 // reproducing the paper's device model: "Disk access will always be by
 // entire tracks, as a track is the natural unit of physical access"
-// (§6). Writes go to every replica; reads validate a per-track checksum and
-// fall back to the next replica on damage, which is the paper's "requests
-// for replication of data".
+// (§6). Writes fan out to every active arm; reads validate a per-track
+// checksum and fall back to the next arm on damage, which is the paper's
+// "requests for replication of data".
+//
+// Each arm carries a health state (see replica.go): a write or sync
+// failure degrades the arm and excludes it from further I/O instead of
+// poisoning every commit, as long as a write quorum of arms stays
+// durable. Salvaged reads heal the arms they bypassed (read-repair), the
+// scrubber sweeps for silent rot, and Rebuild reconstructs a degraded arm
+// bit-for-bit.
 //
 // Write scheduling sorts each group by ascending track number — the
-// elevator pass a real controller would make — and the manager keeps seek
-// statistics so benchmarks can report scheduling effects.
+// elevator pass a real controller would make — and the manager keeps
+// per-arm head positions so seek statistics model each mirrored
+// controller's own arm.
 type TrackManager struct {
 	trackSize int
 	payload   int // trackSize minus checksum header
+	quorum    int // minimum durable arms for a write/sync to succeed
 
-	mu       sync.Mutex // guards replicas, nTracks, lastPos, cache, stats, scratch
-	replicas []*os.File
-	paths    []string
+	mu       sync.Mutex // guards arms, nTracks, cache, stats, scratch
+	arms     []*arm
 	nTracks  uint32 // allocation high-water mark
-	lastPos  uint32 // last track touched, for seek accounting
 	cache    map[uint32][]byte
 	cacheCap int
 	scratch  []byte // reusable whole-group track-image encode buffer
@@ -50,6 +56,14 @@ type trackMetrics struct {
 	cacheHits    *obs.Counter
 	syncs        *obs.Counter
 	fallbacks    []*obs.Counter // indexed by the replica that salvaged the read
+	states       []*obs.Gauge   // per-replica ArmState (0 healthy, 1 suspect, 2 degraded)
+	repairs      *obs.Counter   // track copies rewritten from a valid arm (all paths)
+	readRepairs  *obs.Counter   // repairs triggered by a salvaged read
+	scrubPasses  *obs.Counter
+	scrubScanned *obs.Counter
+	scrubRepaired *obs.Counter
+	scrubLost    *obs.Counter
+	rebuilds     *obs.Counter // arms reconstructed and reinstated
 }
 
 // TrackStats counts physical I/O for benchmark reporting.
@@ -58,38 +72,51 @@ type TrackStats struct {
 	Writes           uint64 // per-replica track writes
 	CacheHits        uint64
 	ReplicaFallbacks uint64 // reads salvaged from a later replica
+	ReadRepairs      uint64 // damaged copies healed after a salvaged read
 	SeekDistance     uint64 // cumulative |Δtrack| across device accesses
 }
 
 const trackHeaderLen = 8      // crc32 (4) + magic (4)
 const trackMagic = 0x4B525447 // "GTRK"
 
-// NewTrackManager opens (creating if needed) nReplicas files under dir.
-func NewTrackManager(dir string, trackSize, nReplicas, cacheTracks int) (*TrackManager, error) {
+// NewTrackManager opens (creating if needed) nReplicas arm files under
+// dir. quorum is the minimum number of arms a write must reach (clamped
+// to [1, nReplicas]); open supplies each arm's device and defaults to the
+// plain os.File opener.
+func NewTrackManager(dir string, trackSize, nReplicas, cacheTracks, quorum int, open OpenReplicaFunc) (*TrackManager, error) {
 	if trackSize < 512 {
 		return nil, fmt.Errorf("store: track size %d too small", trackSize)
 	}
 	if nReplicas < 1 {
 		nReplicas = 1
 	}
+	if quorum < 1 {
+		quorum = 1
+	}
+	if quorum > nReplicas {
+		quorum = nReplicas
+	}
+	if open == nil {
+		open = osOpenReplica
+	}
 	tm := &TrackManager{
 		trackSize: trackSize,
 		payload:   trackSize - trackHeaderLen,
+		quorum:    quorum,
 		cache:     make(map[uint32][]byte),
 		cacheCap:  cacheTracks,
 	}
 	for i := 0; i < nReplicas; i++ {
 		p := filepath.Join(dir, fmt.Sprintf("replica%d.gs", i))
-		f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE, 0o644)
+		f, err := open(p, i)
 		if err != nil {
 			tm.Close()
 			return nil, fmt.Errorf("store: open replica: %w", err)
 		}
-		tm.replicas = append(tm.replicas, f)
-		tm.paths = append(tm.paths, p)
+		tm.arms = append(tm.arms, &arm{f: f, path: p})
 	}
 	// Recover the high-water mark from the primary's size.
-	st, err := tm.replicas[0].Stat()
+	st, err := tm.arms[0].f.Stat()
 	if err != nil {
 		tm.Close()
 		return nil, err
@@ -106,6 +133,26 @@ func (tm *TrackManager) Tracks() uint32 {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
 	return tm.nTracks
+}
+
+// Replicas returns the number of configured arms (any state).
+func (tm *TrackManager) Replicas() int {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return len(tm.arms)
+}
+
+// DegradedArms returns how many arms are currently excluded from I/O.
+func (tm *TrackManager) DegradedArms() int {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	n := 0
+	for _, a := range tm.arms {
+		if a.state == ArmDegraded {
+			n++
+		}
+	}
+	return n
 }
 
 // Allocate reserves n fresh tracks and returns the first track number.
@@ -127,15 +174,25 @@ func (tm *TrackManager) instrument(reg *obs.Registry) {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
 	tm.met = trackMetrics{
-		reads:        reg.Counter("store.track.reads"),
-		writes:       reg.Counter("store.track.writes"),
-		bytesRead:    reg.Counter("store.track.bytes.read"),
-		bytesWritten: reg.Counter("store.track.bytes.written"),
-		cacheHits:    reg.Counter("store.cache.hits"),
-		syncs:        reg.Counter("store.syncs"),
+		reads:         reg.Counter("store.track.reads"),
+		writes:        reg.Counter("store.track.writes"),
+		bytesRead:     reg.Counter("store.track.bytes.read"),
+		bytesWritten:  reg.Counter("store.track.bytes.written"),
+		cacheHits:     reg.Counter("store.cache.hits"),
+		syncs:         reg.Counter("store.syncs"),
+		repairs:       reg.Counter("store.repair.tracks"),
+		readRepairs:   reg.Counter("store.readrepair.tracks"),
+		scrubPasses:   reg.Counter("store.scrub.passes"),
+		scrubScanned:  reg.Counter("store.scrub.scanned"),
+		scrubRepaired: reg.Counter("store.scrub.repaired"),
+		scrubLost:     reg.Counter("store.scrub.lost"),
+		rebuilds:      reg.Counter("store.rebuilds"),
 	}
-	for i := range tm.replicas {
+	for i, a := range tm.arms {
 		tm.met.fallbacks = append(tm.met.fallbacks, reg.Counter(fmt.Sprintf("store.replica.fallbacks.r%d", i)))
+		g := reg.Gauge(fmt.Sprintf("store.replica.state.r%d", i))
+		g.Set(int64(a.state))
+		tm.met.states = append(tm.met.states, g)
 	}
 }
 
@@ -153,21 +210,14 @@ func (tm *TrackManager) ResetStats() {
 	tm.stats = TrackStats{}
 }
 
-func (tm *TrackManager) seekToLocked(track uint32) {
-	d := int64(track) - int64(tm.lastPos)
-	if d < 0 {
-		d = -d
-	}
-	tm.stats.SeekDistance += uint64(d)
-	tm.lastPos = track
-}
-
-// WriteGroup writes a set of tracks to every replica, sorted ascending
+// WriteGroup writes a set of tracks to every active arm, sorted ascending
 // (elevator order). The track images are encoded once into a reusable
-// scratch buffer, then fanned out to all replicas concurrently — mirrored
-// controllers seek in parallel, so a replicated safe-write costs one
-// device pass, not Replicas sequential passes. Payloads shorter than the
-// track payload are zero-padded; longer payloads are an error.
+// scratch buffer, then fanned out concurrently — mirrored controllers
+// seek in parallel, so a replicated safe-write costs one device pass, not
+// Replicas sequential passes. Payloads shorter than the track payload are
+// zero-padded; longer payloads are an error. Arms whose writes fail are
+// degraded; the group succeeds while at least the write quorum of arms
+// holds it durably.
 func (tm *TrackManager) WriteGroup(group map[uint32][]byte) error {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
@@ -176,6 +226,10 @@ func (tm *TrackManager) WriteGroup(group map[uint32][]byte) error {
 		nums = append(nums, n)
 	}
 	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	active := tm.activeLocked()
+	if len(active) < tm.quorum {
+		return fmt.Errorf("store: %d of %d replica arms active, need write quorum %d", len(active), len(tm.arms), tm.quorum)
+	}
 	need := len(nums) * tm.trackSize
 	if cap(tm.scratch) < need {
 		tm.scratch = make([]byte, need)
@@ -194,27 +248,30 @@ func (tm *TrackManager) WriteGroup(group map[uint32][]byte) error {
 		sum := crc32.ChecksumIEEE(buf[trackHeaderLen:])
 		putU32(buf[0:], sum)
 		putU32(buf[4:], trackMagic)
-		tm.seekToLocked(n)
-		tm.stats.Writes += uint64(len(tm.replicas))
+		for _, ri := range active {
+			tm.seekLocked(tm.arms[ri], n)
+		}
+		tm.stats.Writes += uint64(len(active))
 	}
-	tm.met.writes.Add(uint64(len(nums) * len(tm.replicas)))
-	tm.met.bytesWritten.Add(uint64(need * len(tm.replicas)))
-	if err := tm.fanoutLocked(slab, nums); err != nil {
+	tm.met.writes.Add(uint64(len(nums) * len(active)))
+	tm.met.bytesWritten.Add(uint64(need * len(active)))
+	if err := tm.fanoutLocked(slab, nums, active); err != nil {
 		return err
 	}
 	for i, n := range nums {
-		tm.cacheInsertLocked(n, append([]byte(nil), slab[i*tm.trackSize+trackHeaderLen:(i+1)*tm.trackSize]...))
+		tm.cacheInsertLocked(n, slab[i*tm.trackSize+trackHeaderLen:(i+1)*tm.trackSize])
 	}
 	return nil
 }
 
-// fanoutLocked pushes the encoded track images to every replica: inline
-// for a single file, one goroutine per replica otherwise. WriteAt is safe
-// for concurrent use, and each goroutine touches only its own file and
-// error slot.
-func (tm *TrackManager) fanoutLocked(slab []byte, nums []uint32) error {
+// fanoutLocked pushes the encoded track images to the active arms: inline
+// for a single arm, one goroutine per arm otherwise. WriteAt is safe for
+// concurrent use, and each goroutine touches only its own file and error
+// slot. Failed arms are marked degraded; the fan-out succeeds while the
+// write quorum survives.
+func (tm *TrackManager) fanoutLocked(slab []byte, nums []uint32, active []int) error {
 	ts := tm.trackSize
-	writeAll := func(f *os.File) error {
+	writeAll := func(f ReplicaFile) error {
 		for i, n := range nums {
 			if _, err := f.WriteAt(slab[i*ts:(i+1)*ts], int64(n)*int64(ts)); err != nil {
 				return fmt.Errorf("store: write track %d: %w", n, err)
@@ -222,23 +279,34 @@ func (tm *TrackManager) fanoutLocked(slab []byte, nums []uint32) error {
 		}
 		return nil
 	}
-	if len(tm.replicas) == 1 {
-		return writeAll(tm.replicas[0])
-	}
-	errs := make([]error, len(tm.replicas))
-	var wg sync.WaitGroup
-	for ri, f := range tm.replicas {
-		wg.Add(1)
-		go func(ri int, f *os.File) {
-			defer wg.Done()
-			errs[ri] = writeAll(f)
-		}(ri, f)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	errs := make([]error, len(active))
+	if len(active) == 1 {
+		errs[0] = writeAll(tm.arms[active[0]].f)
+	} else {
+		var wg sync.WaitGroup
+		for i, ri := range active {
+			wg.Add(1)
+			go func(i int, f ReplicaFile) {
+				defer wg.Done()
+				errs[i] = writeAll(f)
+			}(i, tm.arms[ri].f)
 		}
+		wg.Wait()
+	}
+	surviving := 0
+	var firstErr error
+	for i, ri := range active {
+		if errs[i] != nil {
+			tm.degradeLocked(ri, errs[i])
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		surviving++
+	}
+	if surviving < tm.quorum {
+		return fmt.Errorf("store: write quorum lost: %d of %d arms durable, need %d: %w", surviving, len(tm.arms), tm.quorum, firstErr)
 	}
 	return nil
 }
@@ -248,36 +316,39 @@ func (tm *TrackManager) WriteTrack(n uint32, payload []byte) error {
 	return tm.WriteGroup(map[uint32][]byte{n: payload})
 }
 
-// ReadTrack returns the payload of track n, trying replicas in order until
-// one passes its checksum.
+// ReadTrack returns the payload of track n, trying active arms in order
+// until one passes its checksum. Arms whose copy is damaged are marked
+// suspect and, once a later arm salvages the read, healed in place with
+// the good image (read-repair). The returned slice is always private to
+// the caller: cache hits and device reads both hand out a copy.
 func (tm *TrackManager) ReadTrack(n uint32) ([]byte, error) {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
 	if p, ok := tm.cache[n]; ok {
 		tm.stats.CacheHits++
 		tm.met.cacheHits.Inc()
-		return p, nil
+		return append([]byte(nil), p...), nil
 	}
 	buf := make([]byte, tm.trackSize)
 	var lastErr error
-	for i, f := range tm.replicas {
-		tm.seekToLocked(n)
-		if _, err := f.ReadAt(buf, int64(n)*int64(tm.trackSize)); err != nil {
+	var failed []int // earlier arms whose copy was damaged
+	for ri, a := range tm.arms {
+		if a.state == ArmDegraded {
+			continue
+		}
+		if err := tm.readRawLocked(ri, n, buf); err != nil {
 			lastErr = err
+			tm.suspectLocked(ri, err)
+			failed = append(failed, ri)
 			continue
 		}
-		tm.stats.Reads++
-		tm.met.reads.Inc()
-		tm.met.bytesRead.Add(uint64(tm.trackSize))
-		if getU32(buf[4:]) != trackMagic || crc32.ChecksumIEEE(buf[trackHeaderLen:]) != getU32(buf[0:]) {
-			lastErr = fmt.Errorf("store: checksum failure on track %d replica %d", n, i)
-			continue
-		}
-		if i > 0 {
+		if len(failed) > 0 {
 			tm.stats.ReplicaFallbacks++
-			if i < len(tm.met.fallbacks) {
-				tm.met.fallbacks[i].Inc()
+			a.fallbacks++
+			if ri < len(tm.met.fallbacks) {
+				tm.met.fallbacks[ri].Inc()
 			}
+			tm.readRepairLocked(n, buf, failed)
 		}
 		p := append([]byte(nil), buf[trackHeaderLen:]...)
 		tm.cacheInsertLocked(n, p)
@@ -287,6 +358,32 @@ func (tm *TrackManager) ReadTrack(n uint32) ([]byte, error) {
 		lastErr = fmt.Errorf("store: track %d unreadable", n)
 	}
 	return nil, lastErr
+}
+
+// readRepairLocked writes a validated raw track image back onto the arms
+// whose copy was damaged — the paper's replication request loop closing
+// itself: a salvaged read heals the arm it bypassed. A failing repair
+// write degrades the arm; repaired arms stay suspect until a scrub pass
+// clears them.
+func (tm *TrackManager) readRepairLocked(n uint32, img []byte, failed []int) {
+	for _, ri := range failed {
+		a := tm.arms[ri]
+		if a.state == ArmDegraded {
+			continue
+		}
+		tm.seekLocked(a, n)
+		if _, err := a.f.WriteAt(img, int64(n)*int64(tm.trackSize)); err != nil {
+			tm.degradeLocked(ri, fmt.Errorf("store: read-repair of track %d failed: %w", n, err))
+			continue
+		}
+		a.repairs++
+		tm.stats.ReadRepairs++
+		tm.stats.Writes++
+		tm.met.readRepairs.Inc()
+		tm.met.repairs.Inc()
+		tm.met.writes.Inc()
+		tm.met.bytesWritten.Add(uint64(tm.trackSize))
+	}
 }
 
 // ReadRange reads length bytes starting at (track, offset), crossing track
@@ -314,35 +411,47 @@ func (tm *TrackManager) ReadRange(track uint32, offset, length int) ([]byte, err
 	return out, nil
 }
 
-// Sync flushes every replica to stable storage, concurrently when
+// Sync flushes every active arm to stable storage, concurrently when
 // replicated: the group's durability point is the slowest device, not the
-// sum of all devices.
+// sum of all devices. Arms that fail to sync are degraded — their data
+// may not be durable — and the sync succeeds while the write quorum of
+// arms confirmed.
 func (tm *TrackManager) Sync() error {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
 	tm.met.syncs.Inc()
-	if len(tm.replicas) <= 1 {
-		for _, f := range tm.replicas {
-			if err := f.Sync(); err != nil {
-				return err
+	active := tm.activeLocked()
+	if len(active) < tm.quorum {
+		return fmt.Errorf("store: %d of %d replica arms active, need write quorum %d", len(active), len(tm.arms), tm.quorum)
+	}
+	errs := make([]error, len(active))
+	if len(active) == 1 {
+		errs[0] = tm.arms[active[0]].f.Sync()
+	} else {
+		var wg sync.WaitGroup
+		for i, ri := range active {
+			wg.Add(1)
+			go func(i int, f ReplicaFile) {
+				defer wg.Done()
+				errs[i] = f.Sync()
+			}(i, tm.arms[ri].f)
+		}
+		wg.Wait()
+	}
+	surviving := 0
+	var firstErr error
+	for i, ri := range active {
+		if errs[i] != nil {
+			tm.degradeLocked(ri, errs[i])
+			if firstErr == nil {
+				firstErr = errs[i]
 			}
+			continue
 		}
-		return nil
+		surviving++
 	}
-	errs := make([]error, len(tm.replicas))
-	var wg sync.WaitGroup
-	for ri, f := range tm.replicas {
-		wg.Add(1)
-		go func(ri int, f *os.File) {
-			defer wg.Done()
-			errs[ri] = f.Sync()
-		}(ri, f)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if surviving < tm.quorum {
+		return fmt.Errorf("store: sync quorum lost: %d of %d arms durable, need %d: %w", surviving, len(tm.arms), tm.quorum, firstErr)
 	}
 	return nil
 }
@@ -352,15 +461,15 @@ func (tm *TrackManager) Close() error {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
 	var first error
-	for _, f := range tm.replicas {
-		if f == nil {
+	for _, a := range tm.arms {
+		if a == nil || a.f == nil {
 			continue
 		}
-		if err := f.Close(); err != nil && first == nil {
+		if err := a.f.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	tm.replicas = nil
+	tm.arms = nil
 	return first
 }
 
@@ -370,12 +479,12 @@ func (tm *TrackManager) Close() error {
 func (tm *TrackManager) DamageTrack(replica int, n uint32) error {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
-	if replica < 0 || replica >= len(tm.replicas) {
+	if replica < 0 || replica >= len(tm.arms) {
 		return fmt.Errorf("store: no replica %d", replica)
 	}
 	delete(tm.cache, n)
 	garbage := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0xDE, 0xAD, 0xBE, 0xEF}
-	_, err := tm.replicas[replica].WriteAt(garbage, int64(n)*int64(tm.trackSize)+trackHeaderLen)
+	_, err := tm.arms[replica].f.WriteAt(garbage, int64(n)*int64(tm.trackSize)+trackHeaderLen)
 	return err
 }
 
@@ -387,6 +496,9 @@ func (tm *TrackManager) DropCache() {
 	tm.cache = make(map[uint32][]byte)
 }
 
+// cacheInsertLocked stores a private copy of p, so callers may pass
+// transient buffers (the scratch slab) and cached payloads are never
+// aliased by anything handed out.
 func (tm *TrackManager) cacheInsertLocked(n uint32, p []byte) {
 	if tm.cacheCap <= 0 {
 		return
@@ -400,7 +512,7 @@ func (tm *TrackManager) cacheInsertLocked(n uint32, p []byte) {
 			break
 		}
 	}
-	tm.cache[n] = p
+	tm.cache[n] = append([]byte(nil), p...)
 }
 
 func putU32(b []byte, v uint32) {

@@ -1,0 +1,261 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/gemstone"
+	"repro/internal/executor"
+	"repro/internal/iofault"
+	"repro/internal/store"
+)
+
+// TestFaultedWorkloadInvisibleToClients is the availability acceptance
+// test: three replica arms, a seeded fault schedule that tears a write on
+// one arm mid-workload (degrading it) and injects read EIO on the primary
+// (forcing salvaged reads + read-repair), and a multi-session wire
+// workload on top. The contract: zero client-visible errors, the wire
+// Health op reports the arm degraded, and after a scrub plus rebuild all
+// three replica files are bit-identical.
+func TestFaultedWorkloadInvisibleToClients(t *testing.T) {
+	dir := t.TempDir()
+	// Bootstrap fault-free so the image install doesn't consume the fault
+	// windows; the schedules below are keyed to ordinals after reopen.
+	db, err := gemstone.Open(dir, gemstone.Options{Replicas: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = gemstone.Open(dir, gemstone.Options{
+		Replicas: 3,
+		OpenReplica: func(path string, replica int) (store.ReplicaFile, error) {
+			var sched iofault.Schedule
+			switch replica {
+			case 0:
+				// Media trouble on the primary's read head, after the
+				// recovery superblock probes (ordinals 1-2): reads are
+				// salvaged from arm 1 and repaired back.
+				sched = iofault.Schedule{Rules: []iofault.Rule{
+					{Op: iofault.OpRead, Kind: iofault.EIO, From: 5, To: 7},
+				}}
+			case 2:
+				// One torn write degrades the arm mid-workload. Degraded
+				// arms get no further traffic, so the arm's write ordinals
+				// freeze at 13: the EIO below fires on the *first rebuild
+				// attempt* (whose writes are the next this device sees),
+				// which must fail cleanly; the retry runs past the window.
+				sched = iofault.Schedule{Rules: []iofault.Rule{
+					{Op: iofault.OpWrite, Kind: iofault.Torn, From: 12, To: 12},
+					{Op: iofault.OpWrite, Kind: iofault.EIO, From: 13, To: 13},
+				}}
+			default:
+				return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+			}
+			f, err := iofault.Open(path, sched)
+			if err != nil {
+				return nil, err
+			}
+			return f, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, executor.New(db))
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	setup, err := DialRetry(addr, 2*time.Second, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	admin, err := setup.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	const commits = 6
+	for w := 0; w < workers; w++ {
+		src := fmt.Sprintf("World at: #fobj%d put: (Object new at: #v put: 0; yourself)", w)
+		if _, _, err := admin.Execute(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := admin.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := DialRetry(addr, 2*time.Second, 5)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			rs, err := c.Login(gemstone.SystemUser, "swordfish")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer rs.Logout()
+			for i := 0; i < commits; i++ {
+				src := fmt.Sprintf("| o | o := World!fobj%d. o at: #v put: %d", w, i)
+				if _, _, err := rs.Execute(src); err != nil {
+					t.Errorf("worker %d execute %d: %v", w, i, err)
+					return
+				}
+				// Disjoint write sets over a degrading replica set: any
+				// error here means a device fault leaked to a client.
+				if _, err := rs.Commit(); err != nil {
+					t.Errorf("worker %d commit %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The torn arm must be degraded, visible over the wire.
+	health, err := admin.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(health) != 3 {
+		t.Fatalf("health reports %d arms, want 3", len(health))
+	}
+	if health[2].State != "degraded" {
+		t.Fatalf("arm 2 state %q over the wire, want degraded (%+v)", health[2].State, health)
+	}
+	if health[1].State != "healthy" {
+		t.Errorf("arm 1 state %q, want healthy", health[1].State)
+	}
+
+	// Scrub heals suspect arms; Rebuild reinstates the degraded one.
+	res := db.Scrub()
+	if res.Scanned == 0 {
+		t.Error("scrub scanned nothing")
+	}
+	// The arm's EIO window (ordinals 13-14) is still open when the first
+	// rebuild touches the device: the rebuild must fail cleanly and leave
+	// the arm degraded, not half-reinstated.
+	if err := db.Rebuild(2); err == nil {
+		t.Fatal("rebuild on a still-failing device reported success")
+	}
+	if got := db.Health()[2].State; got != "degraded" {
+		t.Fatalf("arm 2 %s after failed rebuild, want degraded", got)
+	}
+	if err := db.Rebuild(2); err != nil {
+		t.Fatalf("rebuild retry: %v", err)
+	}
+	for _, h := range db.Health() {
+		if h.State != "healthy" {
+			t.Errorf("replica %d %s after scrub+rebuild (%s)", h.Replica, h.State, h.LastError)
+		}
+	}
+	// All committed values survived the whole episode. Abort first: the
+	// admin session's snapshot predates the worker commits.
+	if err := admin.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		got, _, err := admin.Execute(fmt.Sprintf("(World!fobj%d) at: #v", w))
+		if err != nil {
+			t.Errorf("read back fobj%d: %v", w, err)
+			continue
+		}
+		if got != fmt.Sprint(commits-1) {
+			t.Errorf("fobj%d = %s, want %d", w, got, commits-1)
+		}
+	}
+
+	// And the replica set converged: all three files bit-identical.
+	read := func(r int) []byte {
+		raw, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("replica%d.gs", r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	r0, r1, r2 := read(0), read(1), read(2)
+	if !bytes.Equal(r0, r1) {
+		t.Errorf("arms 0 and 1 differ: %d vs %d bytes", len(r0), len(r1))
+	}
+	if !bytes.Equal(r0, r2) {
+		t.Errorf("rebuilt arm 2 differs from arm 0: %d vs %d bytes", len(r0), len(r2))
+	}
+}
+
+// TestDialRetryWaitsForSlowServer: DialRetry must connect to a server
+// that starts listening after the first attempts fail.
+func TestDialRetryWaitsForSlowServer(t *testing.T) {
+	// Reserve an address, then release it so the first dials fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	if _, err := DialTimeout(addr, 200*time.Millisecond); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+
+	done := make(chan *Server, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		ln2, err := net.Listen("tcp", addr)
+		if err != nil {
+			done <- nil
+			return
+		}
+		db, err := gemstone.Open(t.TempDir(), gemstone.Options{})
+		if err != nil {
+			ln2.Close()
+			done <- nil
+			return
+		}
+		t.Cleanup(func() { db.Close() })
+		done <- Serve(ln2, executor.New(db))
+	}()
+
+	c, err := DialRetry(addr, time.Second, 8)
+	if err != nil {
+		t.Fatalf("DialRetry against slow-starting server: %v", err)
+	}
+	defer c.Close()
+	if srv := <-done; srv != nil {
+		defer srv.Close()
+	} else {
+		t.Fatal("slow server failed to start")
+	}
+	rs, err := c.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Logout()
+	if _, err := rs.Health(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/executor"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Op is a request operation.
@@ -32,6 +33,7 @@ const (
 	OpAbort
 	OpLogout
 	OpStats
+	OpHealth
 )
 
 // Request is one client → server frame.
@@ -51,7 +53,8 @@ type Response struct {
 	Result  string
 	Output  string
 	Time    uint64
-	Stats   *obs.Snapshot // OpStats only
+	Stats   *obs.Snapshot     // OpStats only
+	Health  []store.ArmHealth // OpHealth only
 }
 
 // ErrNotAuthorized reports a request naming a session the requesting
@@ -289,6 +292,8 @@ func (s *Server) dispatch(req *Request, owned map[executor.SessionID]struct{}) R
 		return Response{OK: true}
 	case OpStats:
 		return Response{OK: true, Stats: s.exec.Obs().Snapshot()}
+	case OpHealth:
+		return Response{OK: true, Health: s.exec.Health()}
 	}
 	return fail(fmt.Errorf("wire: unknown op %d", req.Op))
 }
@@ -306,6 +311,42 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	return &Client{conn: conn}, nil
+}
+
+// DialTimeout connects to a server, giving up after d.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// DialRetry connects with bounded retry and exponential backoff: attempts
+// tries, each bounded by timeout, sleeping 50ms, 100ms, 200ms, ... (capped
+// at 2s) between them. A slow-starting server — common right after its
+// host boots — then delays clients instead of hard-failing them.
+func DialRetry(addr string, timeout time.Duration, attempts int) (*Client, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := 50 * time.Millisecond
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+		}
+		c, err := DialTimeout(addr, timeout)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("wire: dial %s failed after %d attempts: %w", addr, attempts, lastErr)
 }
 
 // Close disconnects (server-side sessions opened here are discarded).
@@ -393,6 +434,19 @@ func (r *RemoteSession) Stats() (*obs.Snapshot, error) {
 		return &obs.Snapshot{}, nil
 	}
 	return resp.Stats, nil
+}
+
+// Health fetches the replica-arm health report. Session-scoped like
+// Stats: the connection must own a live session to introspect the server.
+func (r *RemoteSession) Health() ([]store.ArmHealth, error) {
+	resp, err := r.c.roundTrip(Request{Op: OpHealth, Session: r.id})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Error)
+	}
+	return resp.Health, nil
 }
 
 // Logout closes the remote session.
