@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint test race bench
+.PHONY: verify build vet lint waivers test race bench
 
 verify: build vet lint test race
 
@@ -14,10 +14,17 @@ vet:
 	$(GO) vet ./...
 
 # gslint machine-checks the paper's implementation invariants (locking
-# discipline, deterministic serialization, commit-clock time, OOP identity).
+# discipline, deterministic serialization, commit-clock time, OOP identity,
+# lock-order deadlock freedom, cache-alias escapes, atomic-field access).
 # See DESIGN.md "Invariants & static analysis".
 lint:
 	$(GO) run ./cmd/gslint ./...
+
+# waivers audits every //lint:ignore suppression with its reason. CI
+# enforces a count budget over this listing so waivers cannot grow
+# silently; raise the budget in .github/workflows/ci.yml deliberately.
+waivers:
+	$(GO) run ./cmd/gslint -waivers ./...
 
 test:
 	$(GO) test ./...

@@ -47,9 +47,9 @@ func (e embedded) Commit() (uint64, error) {
 	t, err := e.s.Commit()
 	return uint64(t), err
 }
-func (e embedded) Abort() error                         { e.s.Abort(); return nil }
-func (e embedded) Stats() (*obs.Snapshot, error)        { return e.db.Stats(), nil }
-func (e embedded) Health() ([]store.ArmHealth, error)   { return e.db.Health(), nil }
+func (e embedded) Abort() error                       { e.s.Abort(); return nil }
+func (e embedded) Stats() (*obs.Snapshot, error)      { return e.db.Stats(), nil }
+func (e embedded) Health() ([]store.ArmHealth, error) { return e.db.Health(), nil }
 
 type remote struct{ r *wire.RemoteSession }
 

@@ -1,0 +1,342 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Aliasret flags functions that leak an uncopied reference into
+// receiver-owned aliasable storage — the ReadTrack bug class: a method
+// indexes a cache/registry map or slice owned by its receiver and returns
+// the element (or stores it through a parameter) without copying, so the
+// caller and the cache now share one mutable buffer and a later in-place
+// mutation is observable mid-commit.
+//
+// Sources of taint inside a method body:
+//
+//   - s.field[k] where the selector chain is rooted at the receiver, the
+//     field is an unexported map or slice, and the element type is itself
+//     a slice or map (aliasable). Pointer and interface elements are NOT
+//     sources: shared object caches hand out pointers by design.
+//   - s.field itself when it is an unexported map or slice of aliasable
+//     elements (returning the whole cache leaks every buffer).
+//   - a call to another program method through a receiver-rooted chain
+//     whose summary says the result aliases ITS receiver's storage
+//     (cross-package escapes: wrapper returns inner.get(k) uncopied).
+//
+// Taint propagates through plain assignment, slicing, and append whose
+// destination is tainted; append(nil-or-fresh, tainted...) and copy()
+// launder it. A finding fires when a tainted value is returned or
+// assigned through a parameter. Method summaries (which results alias
+// receiver-owned storage) are computed program-wide to a fixpoint, so the
+// escape is caught at the outermost boundary even across packages.
+// Intentional zero-copy paths take a //lint:ignore aliasret waiver.
+func Aliasret(paths ...string) *Analyzer {
+	return &Analyzer{
+		Name:  "aliasret",
+		Doc:   "uncopied references into receiver-owned caches escaping via returns or parameters",
+		Paths: paths,
+		Run:   runAliasret,
+	}
+}
+
+type aliasFinding struct {
+	pos token.Pos
+	msg string
+}
+
+func runAliasret(pass *Pass) {
+	findings := pass.Prog.Once("aliasret", func() any {
+		return aliasretProgram(pass.Prog)
+	}).([]aliasFinding)
+	for _, f := range findings {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// aliasSummaries maps each method to, per result, whether that result can
+// alias receiver-owned aliasable storage.
+type aliasSummaries map[*Func][]bool
+
+func aliasretProgram(prog *Program) []aliasFinding {
+	sums := make(aliasSummaries)
+	// Fixpoint: summaries only flip false→true, so iterate until stable.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prog.Funcs {
+			next := aliasScan(prog, f, sums, nil)
+			prev := sums[f]
+			for i, b := range next {
+				if b && (prev == nil || !prev[i]) {
+					changed = true
+				}
+			}
+			sums[f] = next
+		}
+	}
+	var out []aliasFinding
+	for _, f := range prog.Funcs {
+		aliasScan(prog, f, sums, &out)
+	}
+	return out
+}
+
+// recvVar returns the method's receiver variable, or nil.
+func recvVar(f *Func) *types.Var {
+	if f.Obj == nil {
+		return nil
+	}
+	sig, ok := f.Obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv()
+}
+
+// aliasScan walks one function body tracking which local variables hold
+// receiver-aliasing values. It returns the per-result summary; when
+// report is non-nil it also appends escape findings.
+func aliasScan(prog *Program, f *Func, sums aliasSummaries, report *[]aliasFinding) []bool {
+	recv := recvVar(f)
+	if recv == nil || f.Body == nil {
+		return nil
+	}
+	info := f.Pkg.Info
+	sig := f.Obj.Type().(*types.Signature)
+	results := make([]bool, sig.Results().Len())
+
+	params := make(map[*types.Var]bool)
+	for i := 0; i < sig.Params().Len(); i++ {
+		params[sig.Params().At(i)] = true
+	}
+
+	tainted := make(map[*types.Var]bool)
+
+	// aliasable reports whether values of the type share backing storage
+	// on assignment. Pointers and interfaces are excluded by design: the
+	// shared object cache hands out pointers intentionally, and error
+	// values never alias buffers.
+	aliasable := func(t types.Type) bool {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return true
+		}
+		return false
+	}
+
+	// rootedAtRecv reports whether the expression is a selector chain
+	// rooted at the receiver variable.
+	var rootedAtRecv func(x ast.Expr) bool
+	rootedAtRecv = func(x ast.Expr) bool {
+		switch x := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			return info.Uses[x] == recv
+		case *ast.SelectorExpr:
+			return rootedAtRecv(x.X)
+		case *ast.StarExpr:
+			return rootedAtRecv(x.X)
+		case *ast.IndexExpr:
+			return rootedAtRecv(x.X)
+		}
+		return false
+	}
+
+	// ownedField reports whether the selector resolves to an unexported
+	// map/slice field with aliasable (slice or map) elements, reachable
+	// from the receiver.
+	ownedField := func(sel *ast.SelectorExpr) (*types.Var, bool) {
+		s := info.Selections[sel]
+		if s == nil {
+			return nil, false
+		}
+		v, ok := s.Obj().(*types.Var)
+		if !ok || !v.IsField() || v.Exported() {
+			return nil, false
+		}
+		var elem types.Type
+		switch t := v.Type().Underlying().(type) {
+		case *types.Map:
+			elem = t.Elem()
+		case *types.Slice:
+			elem = t.Elem()
+		default:
+			return nil, false
+		}
+		switch elem.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return v, true
+		}
+		return nil, false
+	}
+
+	// taintOf reports whether evaluating x yields a receiver-aliasing
+	// value, with a description of the owning storage for the message.
+	// An expression whose static type cannot alias (int, bool, error, …)
+	// never carries taint even when derived from tainted storage:
+	// st[len(st)-1] on a tainted []int extracts a value, not a reference.
+	var taintOf func(x ast.Expr) (string, bool)
+	taintOf = func(x ast.Expr) (string, bool) {
+		if tv, ok := info.Types[x]; ok && tv.Type != nil {
+			switch t := tv.Type.(type) {
+			case *types.Tuple:
+				ok := false
+				for i := 0; i < t.Len(); i++ {
+					ok = ok || aliasable(t.At(i).Type())
+				}
+				if !ok {
+					return "", false
+				}
+			default:
+				if !aliasable(t) {
+					return "", false
+				}
+			}
+		}
+		switch x := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok && tainted[v] {
+				return "receiver-owned storage (via " + x.Name + ")", true
+			}
+		case *ast.SelectorExpr:
+			if field, ok := ownedField(x); ok && rootedAtRecv(x.X) {
+				return "receiver-owned " + fieldDesc(field), true
+			}
+		case *ast.IndexExpr:
+			if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+				if field, ok := ownedField(sel); ok && rootedAtRecv(sel.X) {
+					return "an element of receiver-owned " + fieldDesc(field), true
+				}
+			}
+			return taintOf(x.X) // indexing a tainted slice-of-slices
+		case *ast.SliceExpr:
+			return taintOf(x.X)
+		case *ast.CallExpr:
+			fun := ast.Unparen(x.Fun)
+			if id, ok := fun.(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					if id.Name == "append" && len(x.Args) > 0 {
+						return taintOf(x.Args[0]) // append keeps arg0's backing array
+					}
+					return "", false // copy, len, make, … launder
+				}
+			}
+			// A method call through a receiver-rooted chain whose summary
+			// marks a result as receiver-aliasing.
+			var calleeObj *types.Func
+			var base ast.Expr
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				calleeObj, _ = info.Uses[sel.Sel].(*types.Func)
+				base = sel.X
+			}
+			if calleeObj != nil && base != nil && rootedAtRecv(base) {
+				if callee := prog.FuncOf(calleeObj); callee != nil {
+					for _, aliased := range sums[callee] {
+						if aliased {
+							return "storage owned by " + callee.Name, true
+						}
+					}
+				}
+			}
+		}
+		return "", false
+	}
+
+	ast.Inspect(f.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // literals are separate functions; out of scope
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0] // multi-value: conservatively same taint
+				}
+				if rhs == nil {
+					continue
+				}
+				desc, isTainted := taintOf(rhs)
+				// Track local variables picking up taint.
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					var v *types.Var
+					if n.Tok == token.DEFINE {
+						v, _ = info.Defs[id].(*types.Var)
+					} else {
+						v, _ = info.Uses[id].(*types.Var)
+					}
+					if v != nil && !params[v] {
+						// Only aliasable-typed variables carry taint: in
+						// `buf, err := s.get(k)` the error and any comma-ok
+						// bool share the (multi-value) RHS but not the
+						// buffer's backing storage.
+						if isTainted && aliasable(v.Type()) {
+							tainted[v] = true
+						}
+						continue
+					}
+					// Assigning to a (pointer-ish) parameter falls through
+					// to the escape check below.
+				}
+				// Escape: a tainted value stored through a parameter
+				// (out-param slice/map/pointer) leaves the receiver.
+				if isTainted && report != nil && rootedAtParam(info, params, lhs) {
+					*report = append(*report, aliasFinding{
+						pos: n.Pos(),
+						msg: "stores an uncopied reference to " + desc +
+							" through a parameter; copy it first (append([]byte(nil), v...)) or waive with //lint:ignore aliasret <reason>",
+					})
+				}
+			}
+		case *ast.ReturnStmt:
+			for i, res := range n.Results {
+				if desc, isTainted := taintOf(res); isTainted {
+					if i < len(results) && aliasable(sig.Results().At(i).Type()) {
+						results[i] = true
+					}
+					if report != nil {
+						*report = append(*report, aliasFinding{
+							pos: res.Pos(),
+							msg: "returns an uncopied reference to " + desc +
+								"; the caller can mutate the cached value — copy it first or waive with //lint:ignore aliasret <reason>",
+						})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return results
+}
+
+// rootedAtParam reports whether the assignment target reaches storage
+// owned by a caller-visible parameter (x[i], x.Field, *x for parameter x).
+func rootedAtParam(info *types.Info, params map[*types.Var]bool, lhs ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[x].(*types.Var)
+			return v != nil && params[v]
+		case *ast.SelectorExpr:
+			if info.Selections[x] == nil {
+				return false // package-qualified, not a field chain
+			}
+			lhs = x.X
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func fieldDesc(v *types.Var) string {
+	owner := ""
+	if v.Pkg() != nil {
+		owner = v.Pkg().Name() + "."
+	}
+	return "cache field " + owner + v.Name()
+}

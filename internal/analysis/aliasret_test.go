@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The ReadTrack bug class: the cache element escapes uncopied, directly
+// and via a local variable; the append-copy is clean; values extracted
+// from the buffer (not references into it) are clean.
+const aliasFixture = `package fx
+
+type Cache struct {
+	bufs map[uint32][]byte
+}
+
+func (c *Cache) Get(k uint32) []byte {
+	return c.bufs[k]
+}
+
+func (c *Cache) GetVia(k uint32) []byte {
+	b := c.bufs[k]
+	b = b[4:]
+	return b
+}
+
+func (c *Cache) GetCopy(k uint32) []byte {
+	return append([]byte(nil), c.bufs[k]...)
+}
+
+func (c *Cache) First(k uint32) byte {
+	return c.bufs[k][0]
+}
+
+func (c *Cache) Len(k uint32) int {
+	return len(c.bufs[k])
+}
+`
+
+func TestAliasretReturnEscapes(t *testing.T) {
+	got := checkFixture(t, "repro/fx", aliasFixture, Aliasret())
+	wantFindings(t, got,
+		"an element of receiver-owned cache field fx.bufs",
+		"receiver-owned storage (via b)",
+	)
+}
+
+// Storing a cache reference through an out-parameter escapes too.
+const aliasStoreFixture = `package fx
+
+type Result struct {
+	Payload []byte
+}
+
+type Cache struct {
+	bufs map[uint32][]byte
+}
+
+func (c *Cache) Fill(k uint32, out *Result) {
+	out.Payload = c.bufs[k]
+}
+
+func (c *Cache) FillCopy(k uint32, out *Result) {
+	out.Payload = append([]byte(nil), c.bufs[k]...)
+}
+
+func (c *Cache) FillSlot(k uint32, dst [][]byte) {
+	dst[0] = c.bufs[k]
+}
+`
+
+func TestAliasretStoreThroughParam(t *testing.T) {
+	got := checkFixture(t, "repro/fx", aliasStoreFixture, Aliasret())
+	wantFindings(t, got,
+		"stores an uncopied reference",
+		"stores an uncopied reference",
+	)
+}
+
+// Returning the whole cache map leaks every buffer.
+const aliasWholeFixture = `package fx
+
+type Registry struct {
+	entries map[string][]byte
+}
+
+func (r *Registry) All() map[string][]byte {
+	return r.entries
+}
+`
+
+func TestAliasretWholeCacheEscapes(t *testing.T) {
+	got := checkFixture(t, "repro/fx", aliasWholeFixture, Aliasret())
+	wantFindings(t, got, "receiver-owned cache field fx.entries")
+}
+
+// Pointer-element caches are exempt: shared object caches hand out
+// pointers by design, and exported fields are the owner's public API.
+const aliasExemptFixture = `package fx
+
+type Obj struct{ V int }
+
+type Cache struct {
+	objs map[uint32]*Obj
+	Pub  map[uint32][]byte
+}
+
+func (c *Cache) Get(k uint32) *Obj {
+	return c.objs[k]
+}
+
+func (c *Cache) GetPub(k uint32) []byte {
+	return c.Pub[k]
+}
+`
+
+func TestAliasretExemptions(t *testing.T) {
+	wantFindings(t, checkFixture(t, "repro/fx", aliasExemptFixture, Aliasret()))
+}
+
+// A waiver on the return line documents intentional zero-copy.
+func TestAliasretWaiver(t *testing.T) {
+	waived := strings.Replace(aliasFixture,
+		"\treturn c.bufs[k]\n}",
+		"\t//lint:ignore aliasret zero-copy by contract: callers treat pages as immutable\n\treturn c.bufs[k]\n}", 1)
+	if waived == aliasFixture {
+		t.Fatal("replacement did not apply")
+	}
+	got := checkFixture(t, "repro/fx", waived, Aliasret())
+	wantFindings(t, got, "receiver-owned storage (via b)") // only GetVia remains
+}
+
+// The cross-package escape: a wrapper returns its inner cache's buffer
+// uncopied. The inner method's summary (result aliases receiver storage)
+// must propagate so the wrapper is flagged in ITS package too.
+func TestAliasretCrossPackageEscape(t *testing.T) {
+	got := checkFixtures(t, []fixturePkg{
+		{path: "repro/fxa", src: `package fxa
+
+type Cache struct {
+	bufs map[uint32][]byte
+}
+
+func (c *Cache) Get(k uint32) []byte {
+	return c.bufs[k]
+}
+`},
+		{path: "repro/fxb", src: `package fxb
+
+import "repro/fxa"
+
+type Track struct {
+	cache *fxa.Cache
+}
+
+func (t *Track) Read(k uint32) []byte {
+	return t.cache.Get(k)
+}
+
+func (t *Track) ReadCopy(k uint32) []byte {
+	return append([]byte(nil), t.cache.Get(k)...)
+}
+`},
+	}, Aliasret())
+	wantFindings(t, got,
+		"an element of receiver-owned cache field fxa.bufs", // fxa.Get itself
+		"storage owned by fxa.(*Cache).Get",                 // fxb wrapper
+	)
+	if !strings.Contains(got[1].Pos.Filename, "fixture1.go") {
+		t.Errorf("the wrapper escape should be reported in fxb's file, got %s", got[1].Pos.Filename)
+	}
+}

@@ -1,19 +1,32 @@
 // Package analysis is gslint's engine: a small, stdlib-only static-analysis
-// framework (go/parser + go/ast + go/types) plus the four analyzers that
+// framework (go/parser + go/ast + go/types) plus the analyzers that
 // machine-check the paper's implementation invariants:
 //
-//	locksafe  — fields annotated "guards"/"guarded by" are only touched
-//	            under their mutex (the shared-cache and commit-lock
-//	            discipline of internal/core, internal/store, internal/txn)
-//	detmap    — no unordered map iteration on serialization/commit/wire
-//	            paths, so track images and replication streams are
-//	            byte-deterministic
-//	wallclock — no time.Now/math/rand in the kernel packages; transaction
-//	            time comes from the commit clock, keeping @T reads
-//	            reproducible
-//	ooppure   — OOPs are immutable entity identities: no arithmetic on
-//	            oop.OOP, no reassignment of another package's OOP-typed
-//	            identity fields outside constructors
+//	locksafe    — fields annotated "guards"/"guarded by" are only touched
+//	              under their mutex (the shared-cache and commit-lock
+//	              discipline of internal/core, internal/store, internal/txn)
+//	detmap      — no unordered map iteration on serialization/commit/wire
+//	              paths, so track images and replication streams are
+//	              byte-deterministic
+//	wallclock   — no time.Now/math/rand in the kernel packages; transaction
+//	              time comes from the commit clock, keeping @T reads
+//	              reproducible
+//	ooppure     — OOPs are immutable entity identities: no arithmetic on
+//	              oop.OOP, no reassignment of another package's OOP-typed
+//	              identity fields outside constructors
+//	lockorder   — the interprocedural lock-acquisition graph is cycle-free:
+//	              no two call chains can acquire the same pair of program
+//	              mutexes in opposite orders (deadlock freedom)
+//	aliasret    — functions never return or store an uncopied reference
+//	              into a receiver-owned map/slice element (the cache-buffer
+//	              aliasing bug class)
+//	atomicfield — a field accessed through sync/atomic anywhere is accessed
+//	              atomically everywhere; mixed plain loads/stores are races
+//
+// The last three are built on the whole-program layer (Program,
+// BuildProgram): a call graph over every loaded package plus per-function
+// lock and alias summaries, computed once per run and shared through
+// Pass.Prog.
 //
 // Intentional exceptions are written in the source as
 //
@@ -74,14 +87,26 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Prog is the whole-program layer. Interprocedural analyzers compute
+	// their result once via Prog.Once and replay it through Reportf on
+	// every package's pass; Reportf keeps only the findings that land in
+	// the current package, so suppression matching stays per-package.
+	Prog *Program
 
+	ownFiles map[string]bool
 	findings *[]Finding
 }
 
-// Reportf records a finding at pos.
+// Reportf records a finding at pos. Findings positioned outside the
+// pass's own files are dropped — the package whose pass owns that file
+// reports them instead.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ownFiles != nil && !p.ownFiles[position.Filename] {
+		return
+	}
 	*p.findings = append(*p.findings, Finding{
-		Pos:      p.Fset.Position(pos),
+		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -123,17 +148,26 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) map[string]map[
 	return out
 }
 
-// RunAnalyzers applies every analyzer to the package and returns the
-// surviving (unsuppressed) findings, sorted by position. Suppression
-// comments must name the analyzer and give a reason; malformed or unused
-// suppressions are reported so waivers cannot rot silently.
-func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Finding {
+// RunAnalyzers applies every analyzer to one of prog's packages and
+// returns the surviving (unsuppressed) findings, sorted by position.
+// Suppression comments must name the analyzer and give a reason;
+// malformed or unused suppressions are reported so waivers cannot rot
+// silently.
+func RunAnalyzers(analyzers []*Analyzer, prog *Program, target *Package) []Finding {
+	fset, files, pkg, info := target.Fset, target.Files, target.Pkg, target.Info
+	ownFiles := make(map[string]bool, len(files))
+	for _, f := range files {
+		ownFiles[fset.Position(f.Pos()).Filename] = true
+	}
 	var raw []Finding
 	for _, a := range analyzers {
 		if !a.applies(pkg.Path()) {
 			continue
 		}
-		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, findings: &raw}
+		pass := &Pass{
+			Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info,
+			Prog: prog, ownFiles: ownFiles, findings: &raw,
+		}
 		a.Run(pass)
 	}
 
@@ -223,5 +257,39 @@ func All() []*Analyzer {
 		Detmap("repro/internal/store", "repro/internal/txn", "repro/internal/wire", "repro/internal/core", "repro/internal/obs", "repro/internal/iofault"),
 		Wallclock("repro/internal/oop", "repro/internal/txn", "repro/internal/store", "repro/internal/core", "repro/internal/object", "repro/internal/wire", "repro/internal/iofault"),
 		Ooppure("repro/internal/oop"),
+		Lockorder(),
+		Aliasret("repro/internal"),
+		Atomicfield(),
 	}
+}
+
+// Waiver is one //lint:ignore suppression, for `gslint -waivers` audits.
+// Malformed suppressions surface with an empty Analyzer and Reason (they
+// are also lint findings in their own right).
+type Waiver struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// Waivers lists every suppression comment in the package, sorted by
+// position.
+func Waivers(pkg *Package) []Waiver {
+	var out []Waiver
+	for _, lines := range collectSuppressions(pkg.Fset, pkg.Files) {
+		for _, s := range lines {
+			out = append(out, Waiver{
+				Pos:      pkg.Fset.Position(s.pos),
+				Analyzer: s.analyzer,
+				Reason:   s.reason,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
 }

@@ -1,8 +1,8 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
-	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
@@ -16,19 +16,60 @@ import (
 // uses, so fixtures may import sync, sort or repro packages.
 func checkFixture(t *testing.T, pkgPath, src string, analyzers ...*Analyzer) []Finding {
 	t.Helper()
+	return checkFixtures(t, []fixturePkg{{path: pkgPath, src: src}}, analyzers...)
+}
+
+// fixturePkg is one single-file package of a multi-package fixture.
+type fixturePkg struct {
+	path string
+	src  string
+}
+
+// checkFixtures type-checks the fixture packages in order — dependencies
+// first, so later fixtures can import earlier ones by path — builds the
+// whole-program layer over them, and returns every package's surviving
+// findings concatenated in package order.
+func checkFixtures(t *testing.T, fixtures []fixturePkg, analyzers ...*Analyzer) []Finding {
+	t.Helper()
+	pkgs := fixturePackages(t, fixtures)
+	prog := BuildProgram(pkgs)
+	var out []Finding
+	for _, pkg := range pkgs {
+		out = append(out, RunAnalyzers(analyzers, prog, pkg)...)
+	}
+	return out
+}
+
+// fixturePackages parses and type-checks the fixture packages in order,
+// wiring later packages' imports to earlier packages' source-checked
+// types the same way LoadPackages does for the real tree.
+func fixturePackages(t *testing.T, fixtures []fixturePkg) []*Package {
+	t.Helper()
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
-	if err != nil {
-		t.Fatalf("parse fixture: %v", err)
+	imp := &sourceFirstImporter{
+		exports: exportImporter{fset: fset, exports: map[string]string{}},
+		source:  make(map[string]*types.Package),
 	}
-	imp := exportImporter{fset: fset, exports: map[string]string{}}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", imp.lookup)}
-	info := NewInfo()
-	pkg, err := conf.Check(pkgPath, fset, []*ast.File{f}, info)
-	if err != nil {
-		t.Fatalf("type-check fixture: %v", err)
+	var pkgs []*Package
+	for i, fx := range fixtures {
+		name := "fixture.go"
+		if i > 0 {
+			name = fmt.Sprintf("fixture%d.go", i)
+		}
+		f, err := parser.ParseFile(fset, name, fx.src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture %s: %v", fx.path, err)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(fx.path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("type-check fixture %s: %v", fx.path, err)
+		}
+		imp.source[fx.path] = pkg
+		pkgs = append(pkgs, &Package{Path: fx.path, Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info})
 	}
-	return RunAnalyzers(analyzers, fset, []*ast.File{f}, pkg, info)
+	return pkgs
 }
 
 // wantFindings asserts that got has exactly one finding per want entry, in

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Atomicfield enforces all-or-nothing atomic access discipline: a struct
+// field or package-level variable that is passed to a sync/atomic
+// function (atomic.AddUint64(&s.n, 1), atomic.LoadInt64(&hits), …)
+// anywhere in the program must be accessed through sync/atomic
+// everywhere. A single plain load or store elsewhere is a data race the
+// race detector only catches if a test happens to interleave it.
+//
+// Fields of the atomic.Uint64-style wrapper types are safe by
+// construction (method-only access) and are not tracked. Composite-literal
+// initialization (S{n: 0}) is exempt: construction precedes sharing.
+func Atomicfield(paths ...string) *Analyzer {
+	return &Analyzer{
+		Name:  "atomicfield",
+		Doc:   "fields accessed via sync/atomic anywhere must be accessed atomically everywhere",
+		Paths: paths,
+		Run:   runAtomicfield,
+	}
+}
+
+func runAtomicfield(pass *Pass) {
+	findings := pass.Prog.Once("atomicfield", func() any {
+		return atomicfieldProgram(pass.Prog)
+	}).([]aliasFinding)
+	for _, f := range findings {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+func atomicfieldProgram(prog *Program) []aliasFinding {
+	// Pass 1: every &x passed to a sync/atomic function marks x's
+	// variable as atomically-accessed, with the first witness position.
+	atomicVars := make(map[*types.Var]token.Pos)
+	atomicArgs := make(map[ast.Expr]bool) // the &x expressions themselves
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || unary.Op != token.AND {
+						continue
+					}
+					if v := varOf(pkg.Info, unary.X); v != nil {
+						atomicArgs[ast.Unparen(unary.X)] = true
+						if _, seen := atomicVars[v]; !seen {
+							atomicVars[v] = arg.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other access to a marked variable is a finding, except
+	// composite-literal initialization and the atomic call sites above.
+	var out []aliasFinding
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			var visit func(n ast.Node) bool
+			visit = func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					// Keys in S{field: v} construct before sharing; still
+					// scan the element values.
+					for _, elt := range n.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							ast.Inspect(kv.Value, visit)
+						} else {
+							ast.Inspect(elt, visit)
+						}
+					}
+					return false
+				case *ast.SelectorExpr:
+					if atomicArgs[n] {
+						return false
+					}
+					if sel := pkg.Info.Selections[n]; sel != nil {
+						if v, ok := sel.Obj().(*types.Var); ok {
+							if witness, marked := atomicVars[v]; marked {
+								out = append(out, atomicFinding(prog, n.Sel.Pos(), v, witness))
+								return false
+							}
+						}
+					}
+					return true
+				case *ast.Ident:
+					if atomicArgs[n] {
+						return false
+					}
+					if v, ok := pkg.Info.Uses[n].(*types.Var); ok && !v.IsField() {
+						if witness, marked := atomicVars[v]; marked {
+							out = append(out, atomicFinding(prog, n.Pos(), v, witness))
+						}
+					}
+					return true
+				}
+				return true
+			}
+			ast.Inspect(file, visit)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+func atomicFinding(prog *Program, pos token.Pos, v *types.Var, witness token.Pos) aliasFinding {
+	return aliasFinding{
+		pos: pos,
+		msg: "plain access to " + v.Name() + ", which is accessed via sync/atomic at " +
+			shortPos(prog.Fset, witness) + "; use the atomic API everywhere or this read/write races",
+	}
+}
+
+// isAtomicCall reports whether the call targets a sync/atomic function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// varOf resolves an addressable expression to the field or package-level
+// variable it denotes, or nil for locals (locals confined to one function
+// are visible to the race detector and out of scope here).
+func varOf(info *types.Info, x ast.Expr) *types.Var {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if sel := info.Selections[x]; sel != nil {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		}
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && !v.IsField() {
+			return v // pkg.Var
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && !v.IsField() {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v
+			}
+		}
+	case *ast.IndexExpr:
+		return varOf(info, x.X)
+	}
+	return nil
+}

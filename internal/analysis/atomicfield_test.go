@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// Mixed discipline: n is incremented atomically but read plainly — the
+// plain read is the finding; the atomic sites and the composite-literal
+// initialization are not.
+const atomicMixedFixture = `package fx
+
+import "sync/atomic"
+
+type Counter struct {
+	n    uint64
+	safe uint64
+}
+
+func New() *Counter {
+	return &Counter{n: 0, safe: 0}
+}
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.n, 1)
+	atomic.AddUint64(&c.safe, 1)
+}
+
+func (c *Counter) Bad() uint64 {
+	return c.n
+}
+
+func (c *Counter) Good() uint64 {
+	return atomic.LoadUint64(&c.safe)
+}
+`
+
+func TestAtomicfieldMixedAccess(t *testing.T) {
+	got := checkFixture(t, "repro/fx", atomicMixedFixture, Atomicfield())
+	wantFindings(t, got, "plain access to n")
+	if !strings.Contains(got[0].Message, "accessed via sync/atomic at") {
+		t.Errorf("finding should cite the atomic witness site:\n%s", got[0].Message)
+	}
+}
+
+// All-atomic access and atomic.Uint64-typed fields are clean.
+const atomicCleanFixture = `package fx
+
+import "sync/atomic"
+
+type Counter struct {
+	n     uint64
+	typed atomic.Uint64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.n, 1)
+	c.typed.Add(1)
+}
+
+func (c *Counter) Load() uint64 {
+	return atomic.LoadUint64(&c.n) + c.typed.Load()
+}
+`
+
+func TestAtomicfieldAllAtomicClean(t *testing.T) {
+	wantFindings(t, checkFixture(t, "repro/fx", atomicCleanFixture, Atomicfield()))
+}
+
+// Package-level variables follow the same discipline as fields.
+const atomicPkgVarFixture = `package fx
+
+import "sync/atomic"
+
+var hits uint64
+
+func Inc() {
+	atomic.AddUint64(&hits, 1)
+}
+
+func Read() uint64 {
+	return hits
+}
+`
+
+func TestAtomicfieldPackageVar(t *testing.T) {
+	got := checkFixture(t, "repro/fx", atomicPkgVarFixture, Atomicfield())
+	wantFindings(t, got, "plain access to hits")
+}
+
+// The discipline is program-wide: a field updated atomically in its own
+// package and read plainly from another is flagged at the plain read.
+func TestAtomicfieldCrossPackage(t *testing.T) {
+	got := checkFixtures(t, []fixturePkg{
+		{path: "repro/fxa", src: `package fxa
+
+import "sync/atomic"
+
+type Stats struct {
+	Ops uint64
+}
+
+func (s *Stats) Inc() {
+	atomic.AddUint64(&s.Ops, 1)
+}
+`},
+		{path: "repro/fxb", src: `package fxb
+
+import "repro/fxa"
+
+func Snapshot(s *fxa.Stats) uint64 {
+	return s.Ops
+}
+`},
+	}, Atomicfield())
+	wantFindings(t, got, "plain access to Ops")
+	if !strings.Contains(got[0].Pos.Filename, "fixture1.go") {
+		t.Errorf("the finding should land in fxb's file, got %s", got[0].Pos.Filename)
+	}
+}
+
+// A waiver documents an intentional non-atomic access (e.g. a read under
+// a lock that orders all writers).
+func TestAtomicfieldWaiver(t *testing.T) {
+	waived := strings.Replace(atomicMixedFixture,
+		"\treturn c.n\n}",
+		"\t//lint:ignore atomicfield read happens before any goroutine starts\n\treturn c.n\n}", 1)
+	if waived == atomicMixedFixture {
+		t.Fatal("replacement did not apply")
+	}
+	wantFindings(t, checkFixture(t, "repro/fx", waived, Atomicfield()))
+}

@@ -41,6 +41,13 @@ type listedPackage struct {
 // non-dependency package from source. Dependencies (including the standard
 // library) are imported from the compiler's export data, so the loader
 // works offline with no tooling beyond the Go toolchain itself.
+//
+// Target packages are checked in the dependency order `go list -deps`
+// emits, and each checked package is preferred over its export data when a
+// later target imports it. Cross-package references between targets then
+// resolve to the *same* types.Object the defining package's own check
+// produced — the property the whole-program layer (BuildProgram) needs to
+// link call graphs and field identities across packages.
 func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -75,16 +82,40 @@ func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 	}
 
 	fset := token.NewFileSet()
-	imp := exportImporter{fset: fset, exports: exports}
+	imp := &sourceFirstImporter{
+		exports: exportImporter{fset: fset, exports: exports},
+		source:  make(map[string]*types.Package),
+	}
 	var out []*Package
 	for _, t := range targets {
 		pkg, err := checkPackage(fset, t, imp)
 		if err != nil {
 			return nil, err
 		}
+		imp.source[pkg.Path] = pkg.Pkg
 		out = append(out, pkg)
 	}
 	return out, nil
+}
+
+// sourceFirstImporter resolves imports from already source-checked target
+// packages when possible, falling back to compiler export data. Sharing the
+// source-checked types.Package across targets keeps types.Object identity
+// consistent program-wide.
+type sourceFirstImporter struct {
+	exports exportImporter
+	source  map[string]*types.Package
+	fallbak types.Importer
+}
+
+func (s *sourceFirstImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := s.source[path]; ok {
+		return pkg, nil
+	}
+	if s.fallbak == nil {
+		s.fallbak = importer.ForCompiler(s.exports.fset, "gc", s.exports.lookup)
+	}
+	return s.fallbak.Import(path)
 }
 
 // exportImporter resolves imports from compiler export data, consulting
@@ -110,7 +141,7 @@ func (e exportImporter) lookup(path string) (io.ReadCloser, error) {
 	return os.Open(file)
 }
 
-func checkPackage(fset *token.FileSet, lp *listedPackage, imp exportImporter) (*Package, error) {
+func checkPackage(fset *token.FileSet, lp *listedPackage, imp types.Importer) (*Package, error) {
 	var files []*ast.File
 	for _, name := range lp.GoFiles {
 		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
@@ -121,7 +152,7 @@ func checkPackage(fset *token.FileSet, lp *listedPackage, imp exportImporter) (*
 	}
 	info := NewInfo()
 	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "gc", imp.lookup),
+		Importer: imp,
 	}
 	pkg, err := conf.Check(lp.ImportPath, fset, files, info)
 	if err != nil {

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// progOf builds the whole-program layer over the fixtures.
+func progOf(t *testing.T, fixtures ...fixturePkg) *Program {
+	t.Helper()
+	return BuildProgram(fixturePackages(t, fixtures))
+}
+
+// funcNamed finds the program node whose display name contains sub,
+// preferring an exact match (a literal's name contains its parent's).
+func funcNamed(t *testing.T, prog *Program, sub string) *Func {
+	t.Helper()
+	for _, f := range prog.Funcs {
+		if f.Name == sub {
+			return f
+		}
+	}
+	var found *Func
+	for _, f := range prog.Funcs {
+		if strings.Contains(f.Name, sub) {
+			if found != nil {
+				t.Fatalf("ambiguous function %q: %s and %s", sub, found.Name, f.Name)
+			}
+			found = f
+		}
+	}
+	if found == nil {
+		t.Fatalf("no function matching %q", sub)
+	}
+	return found
+}
+
+// callees flattens every resolved callee name of a function.
+func callees(f *Func) []string {
+	var out []string
+	for _, c := range f.Calls {
+		for _, callee := range c.Callees {
+			out = append(out, callee.Name)
+		}
+	}
+	return out
+}
+
+func hasCallee(f *Func, sub string) bool {
+	for _, name := range callees(f) {
+		if strings.Contains(name, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+const callGraphFixture = `package fx
+
+type Closer interface {
+	Close() error
+}
+
+type FileA struct{}
+
+func (f *FileA) Close() error { return nil }
+
+type FileB struct{}
+
+func (f *FileB) Close() error { return nil }
+
+func Direct(a *FileA) {
+	helper()
+	a.Close()
+}
+
+func helper() {}
+
+func ViaInterface(c Closer) {
+	c.Close()
+}
+
+type hook func(int) int
+
+func twice(x int) int { return x + x }
+
+var registered hook = twice
+
+func ViaValue(h hook) int {
+	return h(1)
+}
+
+func WithLit() {
+	f := func() { helper() }
+	f()
+}
+`
+
+func TestCallGraphDirect(t *testing.T) {
+	prog := progOf(t, fixturePkg{path: "repro/fx", src: callGraphFixture})
+	direct := funcNamed(t, prog, "fx.Direct")
+	if !hasCallee(direct, "fx.helper") {
+		t.Errorf("Direct should call helper; has %v", callees(direct))
+	}
+	if !hasCallee(direct, "(*FileA).Close") {
+		t.Errorf("Direct should resolve a.Close() to (*FileA).Close; has %v", callees(direct))
+	}
+	if hasCallee(direct, "FileB") {
+		t.Errorf("a concrete method call must not dispatch to other types; has %v", callees(direct))
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	prog := progOf(t, fixturePkg{path: "repro/fx", src: callGraphFixture})
+	via := funcNamed(t, prog, "fx.ViaInterface")
+	if !hasCallee(via, "(*FileA).Close") || !hasCallee(via, "(*FileB).Close") {
+		t.Errorf("interface call should dispatch to every implementer; has %v", callees(via))
+	}
+	if len(via.Calls) != 1 || !via.Calls[0].Dynamic {
+		t.Errorf("interface dispatch should be marked dynamic: %+v", via.Calls)
+	}
+}
+
+func TestCallGraphFunctionValue(t *testing.T) {
+	prog := progOf(t, fixturePkg{path: "repro/fx", src: callGraphFixture})
+	via := funcNamed(t, prog, "fx.ViaValue")
+	// twice is address-taken (assigned to registered), so the call through
+	// the hook value conservatively targets it.
+	if !hasCallee(via, "fx.twice") {
+		t.Errorf("dynamic call should target address-taken matching functions; has %v", callees(via))
+	}
+	// helper is only ever called directly — it must NOT be a dynamic
+	// target even though no signature would match anyway; check a callee
+	// that matches the signature but is never address-taken is absent:
+	// Direct has signature func(*FileA), no hook matches — nothing to
+	// assert beyond twice being the sole target.
+	for _, c := range via.Calls {
+		for _, callee := range c.Callees {
+			if callee.Name != "fx.twice" {
+				t.Errorf("unexpected dynamic target %s", callee.Name)
+			}
+		}
+	}
+}
+
+func TestCallGraphFuncLit(t *testing.T) {
+	prog := progOf(t, fixturePkg{path: "repro/fx", src: callGraphFixture})
+	with := funcNamed(t, prog, "fx.WithLit")
+	if !hasCallee(with, "WithLit.func@") {
+		t.Errorf("creating a literal should add an implicit call edge; has %v", callees(with))
+	}
+	lit := funcNamed(t, prog, "WithLit.func@")
+	if !hasCallee(lit, "fx.helper") {
+		t.Errorf("the literal body should call helper; has %v", callees(lit))
+	}
+}
+
+const lockEventFixture = `package fx
+
+import "sync"
+
+var pkgMu sync.Mutex
+
+type Box struct {
+	mu sync.RWMutex
+}
+
+type Outer struct {
+	box *Box
+}
+
+func (o *Outer) Ops() {
+	o.box.mu.Lock()
+	defer o.box.mu.Unlock()
+	pkgMu.Lock()
+	pkgMu.Unlock()
+	o.box.mu.RLock()
+	o.box.mu.RUnlock()
+}
+
+func LocalsIgnored() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+`
+
+func TestLockEvents(t *testing.T) {
+	prog := progOf(t, fixturePkg{path: "repro/fx", src: lockEventFixture})
+	ops := funcNamed(t, prog, "(*Outer).Ops")
+	if len(ops.Locks) != 6 {
+		t.Fatalf("got %d lock events, want 6: %+v", len(ops.Locks), ops.Locks)
+	}
+	// Events arrive in position order: Lock, deferred Unlock, pkg
+	// Lock/Unlock, RLock/RUnlock.
+	if ops.Locks[0].Lock.String() != "fx.Box.mu" || ops.Locks[0].Op != LockAcquire {
+		t.Errorf("event 0 = %+v, want acquire of fx.Box.mu", ops.Locks[0])
+	}
+	if !ops.Locks[1].Deferred || ops.Locks[1].Op != LockRelease {
+		t.Errorf("event 1 = %+v, want deferred release", ops.Locks[1])
+	}
+	if ops.Locks[2].Lock.String() != "fx.pkgMu" {
+		t.Errorf("event 2 = %+v, want package-level fx.pkgMu", ops.Locks[2])
+	}
+	if !ops.Locks[4].Read || ops.Locks[4].Op != LockAcquire {
+		t.Errorf("event 4 = %+v, want read acquire", ops.Locks[4])
+	}
+	locals := funcNamed(t, prog, "fx.LocalsIgnored")
+	if len(locals.Locks) != 0 {
+		t.Errorf("function-local mutexes must be ignored: %+v", locals.Locks)
+	}
+}
+
+// Cross-package object identity: a method defined in one package and
+// called from another must resolve to the same *Func node.
+func TestCallGraphCrossPackage(t *testing.T) {
+	prog := progOf(t,
+		fixturePkg{path: "repro/fxa", src: `package fxa
+
+type T struct{}
+
+func (t *T) Work() {}
+`},
+		fixturePkg{path: "repro/fxb", src: `package fxb
+
+import "repro/fxa"
+
+func Use(t *fxa.T) {
+	t.Work()
+}
+`})
+	use := funcNamed(t, prog, "fxb.Use")
+	if !hasCallee(use, "(*T).Work") {
+		t.Fatalf("cross-package call should resolve to fxa's node; has %v", callees(use))
+	}
+	work := funcNamed(t, prog, "(*T).Work")
+	if use.Calls[0].Callees[0] != work {
+		t.Fatalf("cross-package call resolved to a different node than the defining package's")
+	}
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestRepoIsClean runs the full production analyzer set — including the
+// whole-program lockorder/aliasret/atomicfield passes — over the real
+// repository and asserts zero findings, exactly like `make lint`. A
+// failure here means a change introduced an invariant violation (or a
+// waiver went stale).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	pkgs, err := LoadPackages("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load repository: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	prog := BuildProgram(pkgs)
+	analyzers := All()
+	for _, pkg := range pkgs {
+		for _, f := range RunAnalyzers(analyzers, prog, pkg) {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// TestRepoWaiversHaveReasons audits every //lint:ignore in the tree: each
+// must name an analyzer and carry a non-empty reason (the -waivers
+// contract), and name an analyzer that actually exists.
+func TestRepoWaiversHaveReasons(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	pkgs, err := LoadPackages("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("load repository: %v", err)
+	}
+	all := All()
+	n := 0
+	for _, pkg := range pkgs {
+		for _, w := range Waivers(pkg) {
+			n++
+			if w.Analyzer == "" || w.Reason == "" {
+				t.Errorf("%s:%d: malformed waiver (analyzer=%q reason=%q)",
+					w.Pos.Filename, w.Pos.Line, w.Analyzer, w.Reason)
+				continue
+			}
+			if analyzerNamed(all, w.Analyzer) == nil {
+				t.Errorf("%s:%d: waiver names unknown analyzer %q",
+					w.Pos.Filename, w.Pos.Line, w.Analyzer)
+			}
+		}
+	}
+	if n == 0 {
+		t.Error("expected at least one waiver in the tree (e.g. store.loadPageLocked's aliasret)")
+	}
+}

@@ -49,21 +49,21 @@ type TrackManager struct {
 // state. The per-replica fallback counters give the §6 availability story a
 // per-device view: which mirror is serving reads the primary lost.
 type trackMetrics struct {
-	reads        *obs.Counter // device track reads (cache misses)
-	writes       *obs.Counter // per-replica track writes
-	bytesRead    *obs.Counter
-	bytesWritten *obs.Counter
-	cacheHits    *obs.Counter
-	syncs        *obs.Counter
-	fallbacks    []*obs.Counter // indexed by the replica that salvaged the read
-	states       []*obs.Gauge   // per-replica ArmState (0 healthy, 1 suspect, 2 degraded)
-	repairs      *obs.Counter   // track copies rewritten from a valid arm (all paths)
-	readRepairs  *obs.Counter   // repairs triggered by a salvaged read
-	scrubPasses  *obs.Counter
-	scrubScanned *obs.Counter
+	reads         *obs.Counter // device track reads (cache misses)
+	writes        *obs.Counter // per-replica track writes
+	bytesRead     *obs.Counter
+	bytesWritten  *obs.Counter
+	cacheHits     *obs.Counter
+	syncs         *obs.Counter
+	fallbacks     []*obs.Counter // indexed by the replica that salvaged the read
+	states        []*obs.Gauge   // per-replica ArmState (0 healthy, 1 suspect, 2 degraded)
+	repairs       *obs.Counter   // track copies rewritten from a valid arm (all paths)
+	readRepairs   *obs.Counter   // repairs triggered by a salvaged read
+	scrubPasses   *obs.Counter
+	scrubScanned  *obs.Counter
 	scrubRepaired *obs.Counter
-	scrubLost    *obs.Counter
-	rebuilds     *obs.Counter // arms reconstructed and reinstated
+	scrubLost     *obs.Counter
+	rebuilds      *obs.Counter // arms reconstructed and reinstated
 }
 
 // TrackStats counts physical I/O for benchmark reporting.
