@@ -81,7 +81,10 @@ func main() {
 				select {
 				case <-tick.C:
 					res := db.Scrub()
-					if res.Repaired > 0 || res.Lost > 0 {
+					if res.SyncErr != nil {
+						fmt.Fprintf(os.Stderr, "gemstone: scrub: sync failed, repairs may not be durable: %v\n", res.SyncErr)
+					}
+					if res.Repaired > 0 || res.Lost > 0 || res.SyncErr != nil {
 						fmt.Fprintf(os.Stderr, "gemstone: scrub: %d tracks scanned, %d repaired, %d lost\n",
 							res.Scanned, res.Repaired, res.Lost)
 						for _, h := range db.Health() {

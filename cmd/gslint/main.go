@@ -5,8 +5,8 @@
 //
 // It exits non-zero if any finding survives. See internal/analysis for the
 // analyzers (locksafe, detmap, wallclock, ooppure, lockorder, aliasret,
-// atomicfield) and the //lint:ignore <analyzer> <reason> suppression
-// syntax.
+// atomicfield, unlockpath, goroleak, errflow, globalstate) and the
+// //lint:ignore <analyzer> <reason> suppression syntax.
 //
 // Modes:
 //

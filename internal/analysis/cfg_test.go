@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// cfgOf parses src (a full file), finds the function named name, and
+// builds its CFG.
+func cfgOf(t *testing.T, src, name string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return buildCFG(fd.Body)
+		}
+	}
+	t.Fatalf("no function %q in fixture", name)
+	return nil
+}
+
+// exitKinds renders the Term kind of each exit predecessor, in index
+// order: "return", "panic", or "fall" for the implicit end.
+func exitKinds(c *CFG) []string {
+	var out []string
+	for _, b := range c.ExitPreds() {
+		switch b.Term.(type) {
+		case *ast.ReturnStmt:
+			out = append(out, "return")
+		case *ast.CallExpr:
+			out = append(out, "panic")
+		default:
+			out = append(out, "fall")
+		}
+	}
+	return out
+}
+
+func wantKinds(t *testing.T, c *CFG, want ...string) {
+	t.Helper()
+	got := exitKinds(c)
+	if len(got) != len(want) {
+		t.Fatalf("exit preds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("exit preds = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestCFGExits: each return, explicit panic, and the fall-off end is its
+// own Exit predecessor with the right Term.
+func TestCFGExits(t *testing.T) {
+	c := cfgOf(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	if !c {
+		panic("no")
+	}
+	g()
+	return 2
+}
+func g() {}
+`, "f")
+	wantKinds(t, c, "return", "panic", "return")
+}
+
+// TestCFGDeferBranchInterplay: the shape behind unlockpath's key case —
+// a defer registered after a conditional early return is NOT on the
+// early-return path. The early-return exit block must not contain the
+// DeferStmt; the final-return path must.
+func TestCFGDeferBranchInterplay(t *testing.T) {
+	c := cfgOf(t, `package p
+func f(c bool) int {
+	before()
+	if c {
+		return 0
+	}
+	defer after()
+	return 1
+}
+func before() {}
+func after()  {}
+`, "f")
+	preds := c.ExitPreds()
+	if len(preds) != 2 {
+		t.Fatalf("want 2 exit preds, got %d", len(preds))
+	}
+	hasDefer := func(b *Block) bool {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return true
+			}
+		}
+		return false
+	}
+	early, final := preds[0], preds[1]
+	if hasDefer(early) {
+		t.Fatalf("early-return block must not see the later defer")
+	}
+	if !hasDefer(final) {
+		t.Fatalf("final-return block must contain the defer")
+	}
+}
+
+// TestCFGLoop: a for loop has a back edge, and `for {}` with no
+// condition has no false exit — body code after it is unreachable.
+func TestCFGLoop(t *testing.T) {
+	c := cfgOf(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+`, "f")
+	wantKinds(t, c, "return")
+
+	// A loop that never exits: the only path to Exit would be a
+	// return/panic inside it; here there is none, so Exit is unreachable
+	// except via no predecessors at all.
+	c = cfgOf(t, `package p
+func f() {
+	for {
+	}
+}
+`, "f")
+	if len(c.Exit.Preds) != 0 {
+		t.Fatalf("infinite loop: want no exit preds, got %d", len(c.Exit.Preds))
+	}
+}
+
+// TestCFGBreakContinue: break jumps past the loop, continue re-enters
+// the head; both keep the function's single fall-off exit.
+func TestCFGBreakContinue(t *testing.T) {
+	c := cfgOf(t, `package p
+func f(xs []int) int {
+	s := 0
+outer:
+	for _, x := range xs {
+		for {
+			if x < 0 {
+				continue outer
+			}
+			if x == 0 {
+				break outer
+			}
+			s += x
+			break
+		}
+	}
+	return s
+}
+`, "f")
+	wantKinds(t, c, "return")
+}
+
+// TestCFGUnreachable: code after a return is parked in a block with no
+// predecessors, so its nodes exist but carry no flow.
+func TestCFGUnreachable(t *testing.T) {
+	c := cfgOf(t, `package p
+func f() int {
+	return 1
+	g()
+	return 2
+}
+func g() {}
+`, "f")
+	var orphan *Block
+	for _, b := range c.Blocks {
+		if b != c.Entry && len(b.Preds) == 0 && len(b.Nodes) > 0 {
+			orphan = b
+			break
+		}
+	}
+	if orphan == nil {
+		t.Fatalf("dead code should live in a predecessor-less block")
+	}
+}
+
+// TestCFGSwitchFallthrough: fallthrough flows into the next clause's
+// body; a switch without default has an edge straight to after.
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := cfgOf(t, `package p
+func f(x int) int {
+	s := 0
+	switch x {
+	case 1:
+		s = 1
+		fallthrough
+	case 2:
+		s += 2
+	}
+	return s
+}
+`, "f")
+	wantKinds(t, c, "return")
+}
+
+// TestCFGSelect: the after-block of a select is reachable only through
+// an arm; a select whose every arm returns never falls through.
+func TestCFGSelect(t *testing.T) {
+	c := cfgOf(t, `package p
+func f(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+`, "f")
+	wantKinds(t, c, "return", "return")
+}
+
+// TestCFGForwardSolver: the dataflow framework reaches a fixpoint over a
+// loop — a "reached" bit set in the body propagates to the exit.
+func TestCFGForwardSolver(t *testing.T) {
+	c := cfgOf(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		mark()
+	}
+}
+func mark() {}
+`, "f")
+	res := c.Forward(FlowSpec{
+		Init: func() any { return false },
+		Transfer: func(b *Block, in any) any {
+			v := in.(bool)
+			for _, n := range b.Nodes {
+				if _, ok := n.(*ast.ExprStmt); ok {
+					v = true
+				}
+			}
+			return v
+		},
+		Join:  func(a, b any) any { return a.(bool) || b.(bool) },
+		Equal: func(a, b any) bool { return a == b },
+	})
+	preds := c.ExitPreds()
+	if len(preds) != 1 {
+		t.Fatalf("want 1 exit pred, got %d", len(preds))
+	}
+	if got := res.Out[preds[0]]; got != true {
+		t.Fatalf("loop body effect must reach the exit via the back edge; got %v", got)
+	}
+}

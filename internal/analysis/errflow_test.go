@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// errflowDevFixture declares a device with the durability-source shapes
+// (Sync, WriteAt) the analyzer keys on.
+const errflowDevPrelude = `package fx
+
+type Dev struct{ n int }
+
+func (Dev) Sync() error                          { return nil }
+func (Dev) WriteAt(p []byte, off int64) (int, error) { return len(p), nil }
+`
+
+// The seeded bug from the issue: a discarded Sync error — the write is
+// acknowledged but may never be durable.
+func TestErrflowDiscardedSync(t *testing.T) {
+	src := errflowDevPrelude + `
+func Flush(d Dev) {
+	d.Sync()
+}
+`
+	got := checkFixture(t, "repro/internal/store", src, Errflow("repro/internal/store"))
+	wantFindings(t, got, "error from d.Sync() is discarded")
+}
+
+func TestErrflowBlankAndTuple(t *testing.T) {
+	src := errflowDevPrelude + `
+func Blank(d Dev) {
+	_ = d.Sync()
+}
+
+func Tuple(d Dev, p []byte) int {
+	n, _ := d.WriteAt(p, 0)
+	return n
+}
+`
+	got := checkFixture(t, "repro/internal/store", src, Errflow("repro/internal/store"))
+	wantFindings(t, got,
+		"error from d.Sync() is assigned to _",
+		"error from d.WriteAt() is assigned to _",
+	)
+}
+
+// Dead assignments: bound to a variable that no path ever reads.
+func TestErrflowDeadAssignment(t *testing.T) {
+	src := errflowDevPrelude + `
+func Overwritten(d Dev) error {
+	err := d.Sync()
+	err = nil
+	return err
+}
+
+func DroppedAtExit(d Dev) int {
+	err := d.Sync()
+	if err != nil {
+		_ = err
+	}
+	return d.n
+}
+
+func BranchAssigned(d Dev, c bool) {
+	var err error
+	if c {
+		err = d.Sync()
+	}
+	_ = c
+	_ = &err
+}
+`
+	// Overwritten: the first err binding is killed unread. DroppedAtExit
+	// is clean (the branch reads err). BranchAssigned is exempt: err's
+	// address is taken.
+	got := checkFixture(t, "repro/internal/store", src, Errflow("repro/internal/store"))
+	wantFindings(t, got, "error from d.Sync() is assigned to err but never read on any path")
+}
+
+func TestErrflowDeferAndGo(t *testing.T) {
+	src := errflowDevPrelude + `
+func Deferred(d Dev) {
+	defer d.Sync()
+}
+
+func Spawned(d Dev) {
+	go d.Sync()
+}
+`
+	got := checkFixture(t, "repro/internal/store", src, Errflow("repro/internal/store"))
+	wantFindings(t, got,
+		"error from deferred d.Sync() is discarded",
+		"error from d.Sync() is discarded by the go statement",
+	)
+}
+
+// Derived sources: a helper that passes the durability error up makes
+// its own call sites sources; a helper that swallows it is flagged
+// inside, and its (error-less) call sites are not.
+func TestErrflowDerivedSources(t *testing.T) {
+	src := errflowDevPrelude + `
+func flush(d Dev) error {
+	return d.Sync()
+}
+
+func BadCaller(d Dev) {
+	flush(d)
+}
+
+func GoodCaller(d Dev) error {
+	return flush(d)
+}
+
+func swallows(d Dev) {
+	_ = d.Sync()
+}
+
+func CallsSwallower(d Dev) {
+	swallows(d)
+}
+`
+	got := checkFixture(t, "repro/internal/store", src, Errflow("repro/internal/store"))
+	wantFindings(t, got,
+		"error from flush() is discarded",
+		"error from d.Sync() is assigned to _",
+	)
+}
+
+func TestErrflowConsumedForms(t *testing.T) {
+	src := errflowDevPrelude + `
+func report(error) {}
+
+func Checked(d Dev) error {
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func Returned(d Dev) error {
+	return d.Sync()
+}
+
+func Logged(d Dev) {
+	report(d.Sync())
+}
+
+func Stored(d Dev, sink *error) {
+	*sink = d.Sync()
+}
+
+func Captured(d Dev) func() error {
+	err := d.Sync()
+	return func() error { return err }
+}
+
+func Named(d Dev) (err error) {
+	err = d.Sync()
+	return
+}
+`
+	if got := checkFixture(t, "repro/internal/store", src, Errflow("repro/internal/store")); len(got) != 0 {
+		t.Fatalf("consumed forms produced findings:\n%s", renderFindings(got))
+	}
+}
+
+// Out of scope, the same source is quiet; a waiver silences it in scope.
+func TestErrflowScopeAndWaiver(t *testing.T) {
+	src := errflowDevPrelude + `
+func Flush(d Dev) {
+	d.Sync()
+}
+`
+	if got := checkFixture(t, "repro/internal/obs", src, Errflow("repro/internal/store")); len(got) != 0 {
+		t.Fatalf("out-of-scope package produced findings:\n%s", renderFindings(got))
+	}
+	waived := strings.Replace(src, "d.Sync()",
+		"//lint:ignore errflow best-effort flush; the close path re-syncs\n\td.Sync()", 1)
+	if got := checkFixture(t, "repro/internal/store", waived, Errflow("repro/internal/store")); len(got) != 0 {
+		t.Fatalf("waived fixture produced findings:\n%s", renderFindings(got))
+	}
+}

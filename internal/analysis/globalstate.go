@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Globalstate checks that no package-level variable is mutated outside
+// initialization — the shard-readiness invariant. Once the OOP space is
+// sharded (ROADMAP open item 1), every process global is state shared by
+// all shards; anything mutated at runtime through a global is a bug
+// waiting for the second shard. Deliberate registries are waivered at
+// the declaration:
+//
+//	//lint:ignore globalstate analyzer registry, populated only at init
+//	var registry = map[string]*Analyzer{}
+//
+// One finding is reported per mutated variable, at its declaration, so a
+// single waiver covers the registry no matter how many sites touch it.
+//
+// Conservatism rules:
+//
+//   - Initialization is exempt: the declaration's own initializer and
+//     any statement inside a top-level init() function.
+//   - Mutation means: assignment with the variable as the root of the
+//     left-hand side (including element and field writes through a
+//     value-typed variable), ++/--, taking the variable's address, or
+//     calling a pointer-receiver method on a value-typed variable.
+//   - Pointer-, channel- and function-typed variables are flagged only
+//     on reassignment: writes through the pointee mutate whatever the
+//     pointer targets, which locksafe/aliasret govern, not this check.
+//   - Synchronization primitives (sync.Mutex & friends, sync/atomic
+//     types) are exempt: calling Lock on a global mutex is the sanctioned
+//     idiom, not hidden state.
+//   - The scan is per-package: a cross-package mutation of an exported
+//     variable is missed. Exported mutable globals are a finding in the
+//     defining package the moment any same-package code mutates them.
+func Globalstate(paths ...string) *Analyzer {
+	return &Analyzer{
+		Name:  "globalstate",
+		Doc:   "no package-level mutable state outside waivered registries",
+		Paths: paths,
+		Run:   runGlobalstate,
+	}
+}
+
+func runGlobalstate(pass *Pass) {
+	// Package-level vars, in declaration order.
+	type declared struct {
+		obj *types.Var
+		pos token.Pos
+	}
+	var vars []declared
+	byObj := make(map[*types.Var]int)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj, ok := pass.Info.Defs[name].(*types.Var)
+					if !ok || syncPrimitive(obj.Type()) {
+						continue
+					}
+					byObj[obj] = len(vars)
+					vars = append(vars, declared{obj: obj, pos: name.Pos()})
+				}
+			}
+		}
+	}
+	if len(vars) == 0 {
+		return
+	}
+
+	mutations := make(map[*types.Var][]string)
+	record := func(obj *types.Var, pos token.Pos, what string) {
+		if _, ok := byObj[obj]; ok {
+			mutations[obj] = append(mutations[obj],
+				fmt.Sprintf("%s at %s", what, shortPos(pass.Fset, pos)))
+		}
+	}
+	// rootVar resolves the package-level variable an lvalue expression is
+	// rooted at, or nil. direct reports a plain reassignment of the
+	// variable itself (vs. a write through its elements/fields).
+	rootVar := func(x ast.Expr) (obj *types.Var, direct bool) {
+		direct = true
+		for {
+			switch e := ast.Unparen(x).(type) {
+			case *ast.Ident:
+				if v, ok := pass.Info.Uses[e].(*types.Var); ok {
+					if _, ok := byObj[v]; ok {
+						return v, direct
+					}
+				}
+				return nil, false
+			case *ast.SelectorExpr:
+				x, direct = e.X, false
+			case *ast.IndexExpr:
+				x, direct = e.X, false
+			case *ast.StarExpr:
+				return nil, false // *p = v mutates the pointee, not p
+			case *ast.SliceExpr:
+				x, direct = e.X, false
+			default:
+				return nil, false
+			}
+		}
+	}
+	lvalue := func(x ast.Expr, pos token.Pos, what string) {
+		if id, ok := ast.Unparen(x).(*ast.Ident); ok {
+			if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+				record(v, pos, what)
+			}
+			return
+		}
+		obj, _ := rootVar(x)
+		if obj == nil {
+			return
+		}
+		// Writes through a pointer-like global mutate the target, not
+		// the global; only value-typed globals carry the state.
+		if !pointerLike(obj.Type()) {
+			record(obj, pos, "element/field write")
+		}
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && fd.Name.Name == "init" {
+				continue // initialization is the registry idiom
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+							if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+								record(v, n.Pos(), "reassignment")
+							}
+							continue
+						}
+						lvalue(lhs, n.Pos(), "element/field write")
+					}
+				case *ast.IncDecStmt:
+					lvalue(n.X, n.Pos(), "increment")
+				case *ast.UnaryExpr:
+					if n.Op == token.AND {
+						if obj, direct := rootVar(n.X); obj != nil && direct && !pointerLike(obj.Type()) {
+							record(obj, n.Pos(), "address taken")
+						}
+					}
+				case *ast.CallExpr:
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+							if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+								if _, global := byObj[v]; global && !pointerLike(v.Type()) && pointerReceiver(pass.Info, sel) {
+									record(v, n.Pos(), fmt.Sprintf("pointer-receiver call %s", sel.Sel.Name))
+								}
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	type hit struct {
+		obj   *types.Var
+		pos   token.Pos
+		sites []string
+	}
+	var hits []hit
+	for _, d := range vars {
+		if sites := mutations[d.obj]; len(sites) > 0 {
+			sort.Strings(sites)
+			hits = append(hits, hit{obj: d.obj, pos: d.pos, sites: sites})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].pos < hits[j].pos })
+	for _, h := range hits {
+		const max = 3
+		sites := h.sites
+		more := ""
+		if len(sites) > max {
+			more = fmt.Sprintf(" and %d more", len(sites)-max)
+			sites = sites[:max]
+		}
+		pass.Reportf(h.pos,
+			"package-level var %s is mutable state (%s%s): in a per-shard world every process global is shared by all shards — move it into the owning struct, or waive a deliberate registry",
+			h.obj.Name(), strings.Join(sites, ", "), more)
+	}
+}
+
+// pointerLike reports types whose value does not itself carry the shared
+// state: writes through them mutate a target object, not the global.
+func pointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// pointerReceiver reports whether the selected method has a pointer
+// receiver (so calling it on a value-typed global mutates the global).
+func pointerReceiver(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, isPtr := sig.Recv().Type().(*types.Pointer)
+	return isPtr
+}
+
+// syncPrimitive exempts the synchronization types whose methods are the
+// sanctioned way to use a global.
+func syncPrimitive(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		switch obj.Name() {
+		case "Mutex", "RWMutex", "WaitGroup", "Once", "Map", "Pool", "Cond":
+			return true
+		}
+	case "sync/atomic":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The seeded bug: a package-level counter mutated at runtime — shared by
+// every shard the moment there are two.
+const globalstateFixture = `package fx
+
+var hits int
+
+func Touch() {
+	hits++
+}
+`
+
+func TestGlobalstateFires(t *testing.T) {
+	got := checkFixture(t, "repro/internal/wire", globalstateFixture, Globalstate())
+	wantFindings(t, got, "package-level var hits is mutable state (increment at fixture.go:6)")
+}
+
+func TestGlobalstateMutationShapes(t *testing.T) {
+	src := `package fx
+
+type registry struct{ m map[string]int }
+
+func (r *registry) add(k string) { r.m[k] = 1 }
+
+var (
+	reg     = registry{m: map[string]int{}}
+	byName  = map[string]int{}
+	current *registry
+)
+
+func Register(k string) {
+	reg.add(k)       // pointer-receiver call on a value-typed global
+	byName[k] = 1    // element write through a value-typed global
+	current = &reg   // reassignment of a pointer-typed global
+}
+`
+	got := checkFixture(t, "repro/internal/wire", src, Globalstate())
+	wantFindings(t, got,
+		"package-level var reg is mutable state (address taken at fixture.go:16, pointer-receiver call add at fixture.go:14)",
+		"package-level var byName is mutable state (element/field write at fixture.go:15)",
+		"package-level var current is mutable state (reassignment at fixture.go:16)",
+	)
+}
+
+func TestGlobalstateCleanVariants(t *testing.T) {
+	src := `package fx
+
+import (
+	"regexp"
+	"sync"
+)
+
+// Initialized at declaration or in init(), read-only afterwards.
+var names = map[string]int{"a": 1}
+
+var limit int
+
+func init() {
+	limit = 64
+	names["b"] = 2
+}
+
+// Pointer-typed globals used through their methods mutate the target
+// object, which has its own discipline — only reassignment would fire.
+var wordRe = regexp.MustCompile(` + "`\\w+`" + `)
+
+// Synchronization primitives are the sanctioned global idiom.
+var mu sync.Mutex
+
+func Lookup(s string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if wordRe.MatchString(s) {
+		return names[s]
+	}
+	return limit
+}
+`
+	if got := checkFixture(t, "repro/internal/wire", src, Globalstate()); len(got) != 0 {
+		t.Fatalf("clean fixture produced findings:\n%s", renderFindings(got))
+	}
+}
+
+func TestGlobalstateRegistryWaiver(t *testing.T) {
+	waived := strings.Replace(globalstateFixture, "var hits int",
+		"//lint:ignore globalstate demonstration registry; one waiver at the decl covers all sites\nvar hits int", 1)
+	if got := checkFixture(t, "repro/internal/wire", waived, Globalstate()); len(got) != 0 {
+		t.Fatalf("waived registry produced findings:\n%s", renderFindings(got))
+	}
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Goroleak checks that every `go` statement spawns a goroutine tied to a
+// lifecycle: something in the spawned function (or anything it statically
+// calls) must be able to end it or hand its completion to a watcher — a
+// sync.WaitGroup Done/Wait, a channel operation (send, receive, close,
+// select, range over a channel — the done-channel idiom), a
+// context.Context method, or a process exit. A goroutine with none of
+// these is a leak-by-construction: nothing can observe it finish and
+// nothing can tell it to stop, which is exactly what open item 3's
+// 10k-connection wire layer cannot afford.
+//
+// Deliberate daemons (spawned once, intended to live for the process)
+// are waivered at the go statement:
+//
+//	//lint:ignore goroleak metrics flusher is a process-lifetime daemon
+//	go flushForever()
+//
+// Conservatism rules:
+//
+//   - The lifecycle search is transitive over the static call graph but
+//     skips dynamic (interface / function-value) edges, so a goroutine
+//     that reaches its done-channel only through an interface method is
+//     a false positive — waive it with the reason.
+//   - Spawns of external or dynamically-resolved functions (`go
+//     conn.serve()` through an interface, `go fn()` for a parameter) stay
+//     quiet: the body is not visible, so the analyzer cannot prove a
+//     leak. Under-approximation, documented here.
+//   - Any channel operation counts, not just a designated done-channel:
+//     a worker that sends its result unblocks a receiver that owns its
+//     lifetime. This over-approximates (a channel op on an unrelated
+//     channel silences the check) in exchange for zero FPs on the
+//     result-channel idiom.
+func Goroleak(paths ...string) *Analyzer {
+	return &Analyzer{
+		Name:  "goroleak",
+		Doc:   "every go statement is tied to a lifecycle (WaitGroup, channel, context, or waivered daemon)",
+		Paths: paths,
+		Run:   runGoroleak,
+	}
+}
+
+type goroFinding struct {
+	pos token.Pos
+	msg string
+}
+
+func runGoroleak(pass *Pass) {
+	findings := pass.Prog.Once("goroleak", func() any {
+		return computeGoroleak(pass.Prog)
+	}).([]goroFinding)
+	for _, f := range findings {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+type goroleakIndex struct {
+	prog      *Program
+	lifecycle map[*Func]int8 // 0 unknown, 1 yes, 2 no
+}
+
+func computeGoroleak(prog *Program) []goroFinding {
+	idx := &goroleakIndex{prog: prog, lifecycle: make(map[*Func]int8)}
+	var out []goroFinding
+	for _, f := range prog.Funcs {
+		nodeWalk(f.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			target := idx.spawnTarget(f, g.Call)
+			if target == nil || idx.hasLifecycle(target) {
+				return true
+			}
+			out = append(out, goroFinding{
+				pos: g.Pos(),
+				msg: "goroutine " + target.Name + " has no lifecycle: nothing in it (or its static callees) touches a WaitGroup, channel, or context, so it can neither be awaited nor stopped — tie it to one, or waive a deliberate daemon",
+			})
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}
+
+// spawnTarget resolves what a `go` statement runs: a function literal, a
+// program-defined function or method, or nil when the target is external
+// or dynamic (in which case the analyzer stays quiet).
+func (idx *goroleakIndex) spawnTarget(f *Func, call *ast.CallExpr) *Func {
+	fun := ast.Unparen(call.Fun)
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		return idx.prog.byLit[lit]
+	}
+	var obj types.Object
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		obj = f.Pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = f.Pkg.Info.Uses[fun.Sel]
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+				return nil // interface dispatch: body not known
+			}
+		}
+		return idx.prog.FuncOf(fn)
+	}
+	return nil
+}
+
+// hasLifecycle reports whether f (or anything it statically calls)
+// contains a lifecycle signal.
+func (idx *goroleakIndex) hasLifecycle(f *Func) bool {
+	switch idx.lifecycle[f] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	idx.lifecycle[f] = 2 // cycle cut: revisiting adds nothing
+	found := false
+	nodeWalk(f.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if lifecycleNode(f.Pkg.Info, n) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+	search:
+		for i := range f.Calls {
+			c := &f.Calls[i]
+			if c.Dynamic {
+				continue
+			}
+			for _, callee := range c.Callees {
+				if idx.hasLifecycle(callee) {
+					found = true
+					break search
+				}
+			}
+		}
+	}
+	if found {
+		idx.lifecycle[f] = 1
+	}
+	return found
+}
+
+// lifecycleNode recognizes one lifecycle signal in the AST.
+func lifecycleNode(info *types.Info, n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.SendStmt, *ast.SelectStmt:
+		return true
+	case *ast.UnaryExpr:
+		return n.Op == token.ARROW // channel receive
+	case *ast.RangeStmt:
+		if tv, ok := info.Types[n.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(n.Fun).(type) {
+		case *ast.Ident:
+			if _, ok := info.Uses[fun].(*types.Builtin); ok && fun.Name == "close" {
+				return true
+			}
+		case *ast.SelectorExpr:
+			return lifecycleMethod(info, fun)
+		}
+	}
+	return false
+}
+
+// lifecycleMethod recognizes x.M() calls that tie a goroutine to a
+// lifecycle: sync.WaitGroup's Done/Wait, any context.Context method, and
+// the process exits (os.Exit, runtime.Goexit, log.Fatal*).
+func lifecycleMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		switch {
+		case pkg.Path() == "os" && fn.Name() == "Exit",
+			pkg.Path() == "runtime" && fn.Name() == "Goexit",
+			pkg.Path() == "log" && strings.HasPrefix(fn.Name(), "Fatal"):
+			return true
+		}
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() {
+	case "sync":
+		return named.Obj().Name() == "WaitGroup" && (fn.Name() == "Done" || fn.Name() == "Wait")
+	case "context":
+		return named.Obj().Name() == "Context"
+	}
+	return false
+}

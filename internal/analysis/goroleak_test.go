@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The seeded bug: a forever-goroutine nothing can await or stop.
+const goroleakFixture = `package fx
+
+type Server struct {
+	hits int
+}
+
+func (s *Server) churn() {
+	for {
+		s.hits++
+	}
+}
+
+func (s *Server) Start() {
+	go s.churn()
+}
+`
+
+func TestGoroleakFires(t *testing.T) {
+	got := checkFixture(t, "repro/internal/wire", goroleakFixture, Goroleak())
+	wantFindings(t, got, "goroutine fx.(*Server).churn has no lifecycle")
+}
+
+func TestGoroleakCleanVariants(t *testing.T) {
+	src := `package fx
+
+import (
+	"context"
+	"sync"
+)
+
+type Server struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	work chan int
+	hits int
+}
+
+// WaitGroup idiom: the spawner can await it.
+func (s *Server) StartCounted() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.hits++
+	}()
+}
+
+// Done-channel idiom, reached transitively through a named method.
+func (s *Server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case n := <-s.work:
+			s.hits += n
+		}
+	}
+}
+
+func (s *Server) StartLoop() {
+	go s.loop()
+}
+
+// Context idiom.
+func (s *Server) StartCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		s.hits = 0
+	}()
+}
+
+// Result-channel idiom: the send ties completion to a receiver.
+func Compute(out chan<- int) {
+	go func() {
+		out <- 42
+	}()
+}
+
+// Dynamic spawn: the body is not visible, so the analyzer stays quiet.
+func Spawn(f func()) {
+	go f()
+}
+`
+	if got := checkFixture(t, "repro/internal/wire", src, Goroleak()); len(got) != 0 {
+		t.Fatalf("clean fixture produced findings:\n%s", renderFindings(got))
+	}
+}
+
+func TestGoroleakDaemonWaiver(t *testing.T) {
+	waived := strings.Replace(goroleakFixture, "go s.churn()",
+		"//lint:ignore goroleak churn is a process-lifetime daemon\n\tgo s.churn()", 1)
+	if got := checkFixture(t, "repro/internal/wire", waived, Goroleak()); len(got) != 0 {
+		t.Fatalf("waived daemon produced findings:\n%s", renderFindings(got))
+	}
+}

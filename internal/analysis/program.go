@@ -49,6 +49,7 @@ type Program struct {
 	taken   map[string][]*Func      // sigKey -> address-taken functions
 	ifaceMu map[ifaceMethod][]*Func // interface dispatch cache
 	memo    map[string]any          // per-analyzer whole-program results
+	cfgs    map[*Func]*CFG          // lazily built control-flow graphs
 }
 
 type ifaceMethod struct {

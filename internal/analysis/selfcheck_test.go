@@ -29,6 +29,40 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
+// TestSeededFixturesFire is the linter's linter: it loads the
+// deliberately buggy testdata/seeded package (invisible to `./...`) and
+// asserts every v3 analyzer trips on its specimen — proof the production
+// analyzer set still detects the bug classes it gates. CI runs the same
+// check against the built gslint binary.
+func TestSeededFixturesFire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the seeded fixture package")
+	}
+	pkgs, err := LoadPackages("../..", []string{"./internal/analysis/testdata/seeded"})
+	if err != nil {
+		t.Fatalf("load seeded fixtures: %v", err)
+	}
+	prog := BuildProgram(pkgs)
+	var got []Finding
+	for _, pkg := range pkgs {
+		got = append(got, RunAnalyzers(All(), prog, pkg)...)
+	}
+	want := map[string]bool{"unlockpath": false, "goroleak": false, "errflow": false, "globalstate": false}
+	for _, f := range got {
+		if _, seeded := want[f.Analyzer]; !seeded {
+			t.Errorf("unexpected analyzer fired on the seeded fixtures: %s", f)
+			continue
+		}
+		want[f.Analyzer] = true
+	}
+	for name, fired := range want {
+		if !fired {
+			t.Errorf("seeded bug for %s did not fire; the analyzer has gone blind:\n%s",
+				name, renderFindings(got))
+		}
+	}
+}
+
 // TestRepoWaiversHaveReasons audits every //lint:ignore in the tree: each
 // must name an analyzer and carry a non-empty reason (the -waivers
 // contract), and name an analyzer that actually exists.

@@ -1,0 +1,59 @@
+// Package seeded holds deliberately buggy code — one specimen per v3
+// analyzer — for the linter's linter: TestSeededFixturesFire and the CI
+// canary step load this package explicitly and assert that unlockpath,
+// goroleak, errflow and globalstate all fire. `./...` never matches a
+// testdata directory, so these bugs are invisible to normal lint runs
+// and builds.
+package seeded
+
+import "sync"
+
+// globalstate specimen: a package-level counter mutated at runtime —
+// shared by every shard the moment there are two.
+var hits int
+
+type cache struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// unlockpath specimen: the miss path returns before the deferred unlock
+// is registered, leaving c.mu held forever.
+func (c *cache) Get(k string) (int, bool) {
+	c.mu.Lock()
+	v, ok := c.m[k]
+	if !ok {
+		return 0, false
+	}
+	defer c.mu.Unlock()
+	hits++
+	return v, true
+}
+
+type dev struct{}
+
+func (dev) Sync() error { return nil }
+
+// errflow specimen: the durability error from Sync is discarded — the
+// write is acknowledged but may never reach the platter.
+func flush(d dev) {
+	d.Sync()
+}
+
+type server struct {
+	c cache
+	d dev
+}
+
+func (s *server) churn() {
+	for {
+		s.c.Get("x")
+		flush(s.d)
+	}
+}
+
+// goroleak specimen: nothing can await or stop the goroutine — no
+// WaitGroup, no done channel, no context.
+func Start(s *server) {
+	go s.churn()
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The seeded bug from the issue: a lock acquired, then an early return
+// BEFORE the deferred unlock is registered. The early-return path leaks
+// the lock; the normal path is covered.
+const unlockpathHoleFixture = `package fx
+
+import "sync"
+
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func (c *Cache) Get(k string) (int, bool) {
+	c.mu.Lock()
+	if c.m == nil {
+		return 0, false
+	}
+	defer c.mu.Unlock()
+	v, ok := c.m[k]
+	return v, ok
+}
+`
+
+func TestUnlockpathEarlyReturnHole(t *testing.T) {
+	got := checkFixture(t, "repro/internal/store", unlockpathHoleFixture, Unlockpath())
+	wantFindings(t, got, "fx.Cache.mu.Lock() in fx.(*Cache).Get is not released on every path: still held at the return at fixture.go:13")
+}
+
+func TestUnlockpathCleanVariants(t *testing.T) {
+	src := `package fx
+
+import "sync"
+
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Defer registered before any branch: every exit covered.
+func (c *Cache) Get(k string) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		return 0, false
+	}
+	v, ok := c.m[k]
+	return v, ok
+}
+
+// Explicit unlock on each path.
+func (c *Cache) Put(k string, v int) bool {
+	c.mu.Lock()
+	if c.m == nil {
+		c.mu.Unlock()
+		return false
+	}
+	c.m[k] = v
+	c.mu.Unlock()
+	return true
+}
+
+// Release inside a loop body that always precedes the branch out.
+func (c *Cache) Drain() int {
+	n := 0
+	for {
+		c.mu.Lock()
+		if len(c.m) == 0 {
+			c.mu.Unlock()
+			return n
+		}
+		for k := range c.m {
+			delete(c.m, k)
+			n++
+		}
+		c.mu.Unlock()
+	}
+}
+`
+	if got := checkFixture(t, "repro/internal/store", src, Unlockpath()); len(got) != 0 {
+		t.Fatalf("clean fixture produced findings:\n%s", renderFindings(got))
+	}
+}
+
+// Interprocedural: a helper whose net effect is "release" counts as the
+// unlock; a helper whose net effect is "acquire" charges the caller.
+func TestUnlockpathHelperSummaries(t *testing.T) {
+	src := `package fx
+
+import "sync"
+
+type DB struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (d *DB) release() { d.mu.Unlock() }
+
+//lint:ignore unlockpath acquire helper: callers own the release
+func (d *DB) acquire() { d.mu.Lock() }
+
+// Clean: the branch releases through the helper.
+func (d *DB) Read(c bool) int {
+	d.mu.Lock()
+	if c {
+		d.release()
+		return 0
+	}
+	d.mu.Unlock()
+	return d.n
+}
+
+// Fires: the helper acquires, and the early return leaks it.
+func (d *DB) Bump(c bool) int {
+	d.acquire()
+	if c {
+		return 0
+	}
+	d.mu.Unlock()
+	return d.n
+}
+`
+	got := checkFixture(t, "repro/internal/store", src, Unlockpath())
+	wantFindings(t, got, "fx.DB.mu.Lock() in fx.(*DB).Bump is not released on every path: still held at the return at fixture.go:30")
+}
+
+// Mode mismatch: a deferred write-Unlock does not cover an RLock.
+func TestUnlockpathReadWriteModes(t *testing.T) {
+	src := `package fx
+
+import "sync"
+
+type Idx struct {
+	rw sync.RWMutex
+	n  int
+}
+
+func (i *Idx) Bad() int {
+	i.rw.RLock()
+	defer i.rw.Unlock()
+	return i.n
+}
+
+func (i *Idx) Good() int {
+	i.rw.RLock()
+	defer i.rw.RUnlock()
+	return i.n
+}
+`
+	got := checkFixture(t, "repro/internal/store", src, Unlockpath())
+	wantFindings(t, got, "fx.Idx.rw.RLock() in fx.(*Idx).Bad is not released")
+}
+
+// An explicit panic while holding the lock, with no deferred release, is
+// an exit like any other.
+func TestUnlockpathPanicExit(t *testing.T) {
+	src := `package fx
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (b *Box) Must() int {
+	b.mu.Lock()
+	if b.v == 0 {
+		panic("empty")
+	}
+	b.mu.Unlock()
+	return b.v
+}
+`
+	got := checkFixture(t, "repro/internal/store", src, Unlockpath())
+	wantFindings(t, got, "still held at the panic at fixture.go:13")
+
+	// The deferred unlock runs during panic unwinding: covered.
+	covered := strings.Replace(src, "b.mu.Lock()", "b.mu.Lock()\n\tdefer b.mu.Unlock()", 1)
+	covered = strings.Replace(covered, "\tb.mu.Unlock()\n\treturn b.v", "\treturn b.v", 1)
+	if got := checkFixture(t, "repro/internal/store", covered, Unlockpath()); len(got) != 0 {
+		t.Fatalf("defer-covered panic produced findings:\n%s", renderFindings(got))
+	}
+}
+
+func TestUnlockpathWaiver(t *testing.T) {
+	waived := strings.Replace(unlockpathHoleFixture, "c.mu.Lock()",
+		"//lint:ignore unlockpath demonstration of the waiver idiom\n\tc.mu.Lock()", 1)
+	if got := checkFixture(t, "repro/internal/store", waived, Unlockpath()); len(got) != 0 {
+		t.Fatalf("waived fixture produced findings:\n%s", renderFindings(got))
+	}
+}

@@ -165,9 +165,8 @@ func C7(w io.Writer) error {
 		return err
 	}
 	tm := st.TrackManager()
-	for n := uint32(2); n < tm.Tracks(); n++ {
-		_ = tm.DamageTrack(0, n)
-		_ = tm.DamageTrack(1, n)
+	if err := damageTracks(tm, []int{0, 1}, 2); err != nil {
+		return err
 	}
 	tm.DropCache()
 	got, err := st.Load(oop.FromSerial(1))
@@ -181,22 +180,36 @@ func C7(w io.Writer) error {
 	// the track must survive the loss of the salvaging replica.
 	c.check("salvaged read healed the damaged arms", tm.Stats().ReadRepairs > 0,
 		fmt.Sprintf("read-repairs=%d", tm.Stats().ReadRepairs))
-	for n := uint32(2); n < tm.Tracks(); n++ {
-		_ = tm.DamageTrack(2, n)
+	if err := damageTracks(tm, []int{2}, 2); err != nil {
+		return err
 	}
 	tm.DropCache()
 	_, err = st.Load(oop.FromSerial(1))
 	c.check("read after repair survives losing the salvaging replica", err == nil, "")
 	// Damage every copy at once: now the error must surface.
-	for n := uint32(2); n < tm.Tracks(); n++ {
-		for ri := 0; ri < 3; ri++ {
-			_ = tm.DamageTrack(ri, n)
-		}
+	if err := damageTracks(tm, []int{0, 1, 2}, 2); err != nil {
+		return err
 	}
 	tm.DropCache()
 	_, err = st.Load(oop.FromSerial(1))
 	c.check("read with all replicas damaged reports the error", err != nil, "")
 	return c.result("c7")
+}
+
+// damageTracks corrupts tracks [from, tm.Tracks()) on each named replica
+// arm. A failed injection is an error, not a shrug: if the damage pass
+// silently did nothing, every availability claim built on it would be
+// vacuous. (Regression: the errors used to be dropped with _, caught by
+// gslint's errflow analyzer.)
+func damageTracks(tm *store.TrackManager, replicas []int, from uint32) error {
+	for n := from; n < tm.Tracks(); n++ {
+		for _, ri := range replicas {
+			if err := tm.DamageTrack(ri, n); err != nil {
+				return fmt.Errorf("damage injection on replica %d track %d: %w", ri, n, err)
+			}
+		}
+	}
+	return nil
 }
 
 // C8 — §4.3: "Only 32K objects are allowed in most implementations, and the

@@ -92,8 +92,8 @@ func C11(w io.Writer) error {
 
 	res := db.Scrub()
 	c.check("scrub detects and repairs the bit-flipped track",
-		res.Repaired > 0 && res.Lost == 0,
-		fmt.Sprintf("scanned=%d repaired=%d lost=%d", res.Scanned, res.Repaired, res.Lost))
+		res.Repaired > 0 && res.Lost == 0 && res.SyncErr == nil,
+		fmt.Sprintf("scanned=%d repaired=%d lost=%d syncErr=%v", res.Scanned, res.Repaired, res.Lost, res.SyncErr))
 	if err := db.Rebuild(1); err != nil {
 		return err
 	}

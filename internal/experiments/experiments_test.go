@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/store"
 )
 
 // The exact-reproduction experiments are fast and fully self-checked; run
@@ -65,5 +67,22 @@ func TestRegistry(t *testing.T) {
 	}
 	if _, ok := Find("nope"); ok {
 		t.Error("Find(nope) succeeded")
+	}
+}
+
+// The availability experiment's damage injection must surface failures:
+// a DamageTrack that silently no-ops would make C7's claims vacuous.
+func TestDamageTracksSurfacesErrors(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{TrackSize: 1024, Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	tm := st.TrackManager()
+	if err := damageTracks(tm, []int{0}, 0); err != nil {
+		t.Fatalf("damaging a real arm: %v", err)
+	}
+	if err := damageTracks(tm, []int{7}, 0); err == nil {
+		t.Fatal("damaging a nonexistent replica arm: want an error, got nil")
 	}
 }

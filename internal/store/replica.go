@@ -209,6 +209,10 @@ type ScrubResult struct {
 	Scanned  uint64 // tracks examined
 	Repaired uint64 // damaged copies rewritten from a valid arm
 	Lost     uint64 // tracks with no valid copy on any active arm
+	// SyncErr is non-nil when the post-pass Sync lost the write quorum:
+	// the repairs were written but may not be durable, so the pass must
+	// not be read as unqualified success.
+	SyncErr error
 }
 
 // Scrub sweeps every allocated track once, validating each active arm's
@@ -217,7 +221,8 @@ type ScrubResult struct {
 // recovery pass). The lock is taken per track, so commits interleave with
 // the sweep — the scrubber is online. Suspect arms whose every damaged
 // track was repaired are promoted back to healthy at the end of the pass,
-// and the pass finishes with a Sync so repairs are durable.
+// and the pass finishes with a Sync so repairs are durable; if that Sync
+// loses the write quorum the result carries it in SyncErr.
 //
 // A Lost track had no valid copy anywhere; the alternate superblock slot
 // of a young database and allocation debris from a crashed commit are
@@ -255,9 +260,10 @@ func (tm *TrackManager) Scrub() ScrubResult {
 	tm.met.scrubRepaired.Add(res.Repaired)
 	tm.met.scrubLost.Add(res.Lost)
 	tm.mu.Unlock()
-	// Failures inside Sync degrade the offending arm; the pass itself
-	// still reports what it repaired.
-	_ = tm.Sync()
+	// Failures inside Sync degrade the offending arm; the pass still
+	// reports what it repaired, and a lost write quorum is surfaced in
+	// SyncErr so callers never mistake an undurable pass for success.
+	res.SyncErr = tm.Sync()
 	return res
 }
 

@@ -451,3 +451,61 @@ func TestReadTrackReturnsPrivateCopy(t *testing.T) {
 		t.Fatal("mutating a cache-hit payload corrupted the cache")
 	}
 }
+
+// syncToggleFile wraps a ReplicaFile so Sync can be made to fail on
+// demand, letting a test target the scrub-time Sync specifically without
+// counting operation ordinals.
+type syncToggleFile struct {
+	ReplicaFile
+	fail *atomic.Bool
+}
+
+func (f *syncToggleFile) Sync() error {
+	if f.fail.Load() {
+		return errors.New("injected sync failure")
+	}
+	return f.ReplicaFile.Sync()
+}
+
+// TestScrubSurfacesSyncFailure: a scrub pass whose closing Sync loses the
+// write quorum must say so in SyncErr — repairs that never reached the
+// platter are not a successful pass. (Regression: the error used to be
+// discarded, caught by gslint's errflow analyzer.)
+func TestScrubSurfacesSyncFailure(t *testing.T) {
+	var failSync atomic.Bool
+	s, err := Open(t.TempDir(), Options{
+		TrackSize: 1024, Replicas: 2, WriteQuorum: 2,
+		OpenReplica: func(path string, replica int) (ReplicaFile, error) {
+			f, err := osOpenReplica(path, replica)
+			if err != nil || replica != 1 {
+				return f, err
+			}
+			return &syncToggleFile{ReplicaFile: f, fail: &failSync}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := uint64(1); i <= 3; i++ {
+		ob := namedObj(i, 2)
+		if err := s.Apply(Commit{Objects: []*object.Object{ob}, NextSerial: i + 1, Time: oop.Time(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := s.Scrub()
+	if res.SyncErr != nil {
+		t.Fatalf("healthy scrub reported SyncErr = %v", res.SyncErr)
+	}
+	failSync.Store(true)
+	res = s.Scrub()
+	if res.SyncErr == nil {
+		t.Fatal("scrub over a sync-failing arm with quorum 2/2: want non-nil SyncErr")
+	}
+	if res.Scanned == 0 || res.Lost != 0 {
+		t.Fatalf("scan results lost alongside the sync failure: scanned=%d lost=%d", res.Scanned, res.Lost)
+	}
+	if h := s.Health(); h[1].State != "degraded" {
+		t.Fatalf("sync-failing arm state = %q, want degraded", h[1].State)
+	}
+}
