@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint waivers test race bench gslint
+.PHONY: verify build vet lint waivers test race bench bench-gate bench-gate-record gslint
 
 verify: build vet lint test race
 
@@ -50,3 +50,28 @@ bench:
 	$(GO) test -bench=. -benchmem ./... | tee /tmp/bench_out.txt
 	$(GO) run ./cmd/benchjson -o BENCH_2.json -section current < /tmp/bench_out.txt
 	$(GO) run ./cmd/gsbench -all
+
+# The single-writer commit benchmarks that gate the commit path's
+# allocation budget. -benchtime is pinned to a fixed iteration count:
+# with append-only history every commit grows the written record, so
+# B/op depends on b.N; at a fixed count it is deterministic and
+# machine-independent.
+GATE_BENCH = BenchmarkCommitAllocs/workers=1$$|BenchmarkC3_OptimisticCommits/disjoint/workers=1$$
+GATE_TIME  = 300x
+
+# bench-gate compares a fresh run against the committed commit_gate
+# baseline in BENCH_2.json and fails on regression. B/op and allocs/op
+# are tight (they don't depend on machine speed); ns/op is a loose
+# catastrophic-regression backstop because shared-runner wall clock
+# swings 2-3x.
+bench-gate:
+	$(GO) test -bench '$(GATE_BENCH)' -benchtime=$(GATE_TIME) -benchmem -run '^$$' . \
+	  | $(GO) run ./cmd/benchjson -gate BENCH_2.json -section commit_gate \
+	      -metric B/op:1.25 -metric allocs/op:1.2 -metric ns/op:4.0
+
+# bench-gate-record re-baselines the gate. Run deliberately, in the same
+# PR as an intentional commit-path change, never to paper over a
+# regression.
+bench-gate-record:
+	$(GO) test -bench '$(GATE_BENCH)' -benchtime=$(GATE_TIME) -benchmem -run '^$$' . \
+	  | $(GO) run ./cmd/benchjson -o BENCH_2.json -section commit_gate

@@ -9,6 +9,21 @@
 // only the named section is replaced, so successive runs build a history.
 // The ledger format is shared with `gsbench -stats` (the "engine" section)
 // via internal/experiments.
+//
+// With -gate, benchjson instead compares the stdin results against a
+// recorded section and exits nonzero on regression:
+//
+//	go test -bench CommitAllocs -benchtime=300x -benchmem | \
+//	  go run ./cmd/benchjson -gate BENCH_2.json -section commit_gate \
+//	  -metric B/op:1.25 -metric allocs/op:1.2
+//
+// Each -metric names a unit and the maximum allowed current/baseline
+// ratio; metrics without a -metric flag are not gated. Benchmarks missing
+// from the baseline section are reported but do not fail the gate, so new
+// benchmarks can land before their baseline is recorded. Gates that rely
+// on allocation counts should pin -benchtime to a fixed iteration count:
+// B/op is machine-independent but not, with append-only history growing
+// every record, iteration-count-independent.
 package main
 
 import (
@@ -16,15 +31,37 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
 )
 
+// ratioFlags collects repeated -metric unit:maxRatio flags.
+type ratioFlags map[string]float64
+
+func (r ratioFlags) String() string { return fmt.Sprintf("%v", map[string]float64(r)) }
+
+func (r ratioFlags) Set(s string) error {
+	unit, ratio, ok := strings.Cut(s, ":")
+	if !ok {
+		return fmt.Errorf("want unit:maxRatio, got %q", s)
+	}
+	v, err := strconv.ParseFloat(ratio, 64)
+	if err != nil || v <= 0 {
+		return fmt.Errorf("bad ratio in %q", s)
+	}
+	r[unit] = v
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
-	section := flag.String("section", "current", "section name to write results under")
+	section := flag.String("section", "current", "section name to write results under (or compare against with -gate)")
+	gate := flag.String("gate", "", "ledger file to gate against; compare stdin results to -section and exit nonzero on regression")
+	ratios := ratioFlags{}
+	flag.Var(ratios, "metric", "unit:maxRatio pair to gate (repeatable), e.g. B/op:1.25")
 	flag.Parse()
 
 	results, err := parse(os.Stdin)
@@ -35,6 +72,18 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+
+	if *gate != "" {
+		doc, err := experiments.ReadLedger(*gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if runGate(os.Stderr, results, doc[*section], ratios) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	doc := experiments.Ledger{}
@@ -56,6 +105,46 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s section %q\n", len(results), *out, *section)
+}
+
+// runGate compares current results against a baseline section and reports
+// every gated metric. Returns true when any metric exceeds its allowed
+// ratio. Iteration order is sorted so the report is deterministic.
+func runGate(w *os.File, current, baseline map[string]map[string]float64, ratios ratioFlags) bool {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	units := make([]string, 0, len(ratios))
+	for unit := range ratios {
+		units = append(units, unit)
+	}
+	sort.Strings(names)
+	sort.Strings(units)
+	failed := false
+	for _, name := range names {
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(w, "benchjson: gate: %s has no recorded baseline; skipping\n", name)
+			continue
+		}
+		for _, unit := range units {
+			cur, haveCur := current[name][unit]
+			want, haveBase := base[unit]
+			if !haveCur || !haveBase || want == 0 {
+				continue
+			}
+			ratio := cur / want
+			status := "ok"
+			if ratio > ratios[unit] {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Fprintf(w, "benchjson: gate: %-4s %s %s: %.6g vs baseline %.6g (%.2fx, allowed %.2fx)\n",
+				status, name, unit, cur, want, ratio, ratios[unit])
+		}
+	}
+	return failed
 }
 
 // parse reads `go test -bench` text and extracts one metric map per

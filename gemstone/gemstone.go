@@ -106,6 +106,10 @@ func Open(dir string, opts Options) (*DB, error) {
 		cdb.Close()
 		return nil, fmt.Errorf("gemstone: installing OPAL image: %w", err)
 	}
+	// Retire the bootstrap session: left open it would pin the validation
+	// log forever and, camped on the published tip, force the first real
+	// commit off the idle-pipeline fast path.
+	sys.Close()
 	return db, nil
 }
 
@@ -144,6 +148,7 @@ func (db *DB) CreateUser(name, password string) error {
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	return s.CreateUser(name, password)
 }
 

@@ -31,9 +31,10 @@ func TestRepoIsClean(t *testing.T) {
 
 // TestSeededFixturesFire is the linter's linter: it loads the
 // deliberately buggy testdata/seeded package (invisible to `./...`) and
-// asserts every v3 analyzer trips on its specimen — proof the production
-// analyzer set still detects the bug classes it gates. CI runs the same
-// check against the built gslint binary.
+// asserts every gated analyzer trips on its specimen — proof the
+// production analyzer set still detects the bug classes it gates,
+// including the aliasret pool-escape class the commit-path slabs depend
+// on. CI runs the same check against the built gslint binary.
 func TestSeededFixturesFire(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the seeded fixture package")
@@ -47,7 +48,7 @@ func TestSeededFixturesFire(t *testing.T) {
 	for _, pkg := range pkgs {
 		got = append(got, RunAnalyzers(All(), prog, pkg)...)
 	}
-	want := map[string]bool{"unlockpath": false, "goroleak": false, "errflow": false, "globalstate": false}
+	want := map[string]bool{"unlockpath": false, "goroleak": false, "errflow": false, "globalstate": false, "aliasret": false}
 	for _, f := range got {
 		if _, seeded := want[f.Analyzer]; !seeded {
 			t.Errorf("unexpected analyzer fired on the seeded fixtures: %s", f)

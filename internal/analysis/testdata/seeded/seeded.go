@@ -1,9 +1,9 @@
-// Package seeded holds deliberately buggy code — one specimen per v3
+// Package seeded holds deliberately buggy code — one specimen per gated
 // analyzer — for the linter's linter: TestSeededFixturesFire and the CI
 // canary step load this package explicitly and assert that unlockpath,
-// goroleak, errflow and globalstate all fire. `./...` never matches a
-// testdata directory, so these bugs are invisible to normal lint runs
-// and builds.
+// goroleak, errflow, globalstate and aliasret all fire. `./...` never
+// matches a testdata directory, so these bugs are invisible to normal
+// lint runs and builds.
 package seeded
 
 import "sync"
@@ -56,4 +56,19 @@ func (s *server) churn() {
 // WaitGroup, no done channel, no context.
 func Start(s *server) {
 	go s.churn()
+}
+
+// pool mimics the store's buffer slab: recycled track buffers waiting to
+// be handed back out.
+type pool struct {
+	free [][]byte
+}
+
+// aliasret specimen: Grab pops a pooled buffer and returns it without
+// copying, so the caller and the pool share one backing array — the next
+// recycle/pop cycle scribbles over bytes the caller still holds.
+func (p *pool) Grab() []byte {
+	buf := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return buf
 }

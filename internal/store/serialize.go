@@ -52,6 +52,26 @@ func EncodeObject(dst []byte, ob *object.Object) []byte {
 	return dst
 }
 
+// EncodedSize returns the exact number of bytes EncodeObject will append
+// for ob — the boxer's sizing pre-pass, so one slab allocation (or reuse)
+// covers a whole commit batch. Must mirror EncodeObject field for field.
+func EncodedSize(ob *object.Object) int {
+	n := 4 + 8 + 8 + 4 + 1 // magic, oop, class, seg, format
+	if ob.Format == object.FormatBytes {
+		n += 4
+		for _, v := range ob.ByteVersions() {
+			n += 8 + 4 + len(v.Bytes)
+		}
+		return n
+	}
+	elems := ob.Elements()
+	n += 4
+	for i := range elems {
+		n += 8 + 4 + 16*len(elems[i].Hist)
+	}
+	return n
+}
+
 type decoder struct {
 	b   []byte
 	off int

@@ -112,15 +112,82 @@ type Store struct {
 	dirTrackPending uint32            // directory chain head for the superblock being written
 	entriesPerPage  int
 
+	scratch  applyScratch // commit-path slabs, reused across Applies under mu
+	pagePool [][]Locator  // recycled object-table pages (COW scratch)
+
 	met storeMetrics
+}
+
+// applyScratch holds the commit hot path's reusable buffers. Everything
+// here is owned by Apply and only valid under s.mu; no buffer may escape
+// except by the documented handoffs — committed COW pages move into
+// pageCache (and the pages they replace come back to the pool), and the
+// superseded table directory becomes the next commit's directory scratch.
+// See DESIGN.md "Commit pipeline" for the ownership rules aliasret
+// enforces.
+type applyScratch struct {
+	buf        []byte       // boxer encode slab, presized by EncodedSize
+	places     []placed     // where each record landed in buf
+	order      []int        // places indexes in ascending-serial order
+	writes     []TrackWrite // write batch handed to WriteRun
+	pageTracks []uint32     // next table directory, double-buffered with s.pageTracks
+	pageOrder  []int        // dirtyPages indexes in ascending-page order
+	dirtyPages []cowPage    // COW'd table pages, in creation order
+	dirtyAt    map[int]int  // page index -> position in dirtyPages
+	img        []byte       // encode slab for table pages + directory chain
+	superBuf   []byte       // superblock encode buffer
+}
+
+// placed records where one serialized object landed in the encode slab.
+type placed struct {
+	serial uint64
+	off    int
+	length int
+}
+
+// cowPage is one copy-on-write object-table page awaiting publication.
+type cowPage struct {
+	idx  int
+	page []Locator
+}
+
+// pagePoolCap bounds the recycled-page pool; beyond it pages are dropped
+// to the collector rather than pinned.
+const pagePoolCap = 64
+
+// takePage pops a recycled page of length n from the pool or allocates a
+// fresh one. The second result reports whether the pool served it. Free
+// function, same reasoning as popTrack: the loan discipline lives at the
+// call sites aliasret watches.
+func takePage(pool *[][]Locator, n int) ([]Locator, bool) {
+	for len(*pool) > 0 {
+		last := len(*pool) - 1
+		p := (*pool)[last]
+		(*pool)[last] = nil
+		*pool = (*pool)[:last]
+		if len(p) == n {
+			return p, true
+		}
+	}
+	return make([]Locator, n), false
+}
+
+// putPage returns a page to the pool, dropping it when the pool is full.
+func putPage(pool *[][]Locator, page []Locator) {
+	if page == nil || len(*pool) >= pagePoolCap {
+		return
+	}
+	*pool = append(*pool, page)
 }
 
 // storeMetrics holds the commit-path instruments. Atomic instruments, not
 // guarded state: recording never needs s.mu.
 type storeMetrics struct {
-	applies  *obs.Counter   // Apply calls that reached the superblock flip
-	degraded *obs.Counter   // successful applies while an arm was degraded
-	applyNS  *obs.Histogram // whole Apply latency, boxer through flip
+	applies    *obs.Counter   // Apply calls that reached the superblock flip
+	degraded   *obs.Counter   // successful applies while an arm was degraded
+	applyNS    *obs.Histogram // whole Apply latency, boxer through flip
+	slabReuses *obs.Counter   // commit-path slabs served by reuse (shared with TrackManager)
+	slabGrows  *obs.Counter   // commit-path slabs that had to (re)allocate
 }
 
 // Commit is one atomic batch of changes.
@@ -150,9 +217,11 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.entriesPerPage = tm.PayloadSize() / locatorLen
 	s.met = storeMetrics{
-		applies:  opts.Obs.Counter("store.applies"),
-		degraded: opts.Obs.Counter("store.commits.degraded"),
-		applyNS:  opts.Obs.Histogram("store.apply.ns", obs.LatencyBounds),
+		applies:    opts.Obs.Counter("store.applies"),
+		degraded:   opts.Obs.Counter("store.commits.degraded"),
+		applyNS:    opts.Obs.Histogram("store.apply.ns", obs.LatencyBounds),
+		slabReuses: opts.Obs.Counter("store.slab.reuses"),
+		slabGrows:  opts.Obs.Counter("store.slab.grows"),
 	}
 	tm.instrument(opts.Obs)
 	// No other goroutine can reach a store that Open has not returned, but
@@ -196,7 +265,13 @@ const superMagic = 0x50555347                          // "GSUP"
 const superLen = 4 + 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4 // ... + trackSize + crc
 
 func (s *Store) encodeSuperblockLocked() []byte {
-	b := make([]byte, superLen)
+	// The returned buffer is the reusable superblock slab: WriteTrack copies
+	// it into the track-image scratch before any I/O, so handing it out is
+	// a loan that ends when writeSuperblockLocked returns.
+	if cap(s.scratch.superBuf) < superLen {
+		s.scratch.superBuf = make([]byte, superLen)
+	}
+	b := s.scratch.superBuf[:superLen]
 	putU32(b[0:], superMagic)
 	putU64(b[4:], s.meta.Epoch)
 	putU64(b[12:], uint64(s.meta.LastTime))
@@ -498,34 +573,43 @@ func (s *Store) Apply(c Commit) error {
 	defer sw.Stop()
 
 	// --- Boxer: pack serialized records contiguously into fresh tracks ---
+	// A sizing pre-pass presizes the encode slab exactly, so a steady-state
+	// commit appends into recycled memory instead of growing a fresh buffer.
 	payload := s.tm.PayloadSize()
-	var buf []byte
-	type placed struct {
-		serial uint64
-		off    int
-		length int
+	need := 0
+	for _, ob := range c.Objects {
+		need += EncodedSize(ob)
 	}
-	places := make([]placed, 0, len(c.Objects))
+	if cap(s.scratch.buf) < need {
+		s.scratch.buf = make([]byte, 0, need)
+		s.met.slabGrows.Inc()
+	} else {
+		s.met.slabReuses.Inc()
+	}
+	buf := s.scratch.buf[:0]
+	places := s.scratch.places[:0]
 	for _, ob := range c.Objects {
 		start := len(buf)
 		buf = EncodeObject(buf, ob)
 		places = append(places, placed{ob.OOP.Serial(), start, len(buf) - start})
 	}
+	s.scratch.buf, s.scratch.places = buf, places
 	nData := (len(buf) + payload - 1) / payload
 	firstData := s.tm.Allocate(nData)
-	group := make(map[uint32][]byte, nData)
+	writes := s.scratch.writes[:0]
 	for i := 0; i < nData; i++ {
 		lo := i * payload
 		hi := lo + payload
 		if hi > len(buf) {
 			hi = len(buf)
 		}
-		group[firstData+uint32(i)] = buf[lo:hi]
+		writes = append(writes, TrackWrite{Track: firstData + uint32(i), Payload: buf[lo:hi]})
 	}
+	s.scratch.writes = writes
 	if err := s.failpoint("before-data"); err != nil {
 		return err
 	}
-	if err := s.tm.WriteGroup(group); err != nil {
+	if err := s.tm.WriteRun(writes); err != nil {
 		return err
 	}
 	if err := s.failpoint("after-data"); err != nil {
@@ -533,14 +617,6 @@ func (s *Store) Apply(c Commit) error {
 	}
 
 	// --- Object table: copy-on-write the affected pages ---
-	newLocators := make(map[uint64]Locator, len(places))
-	for _, p := range places {
-		newLocators[p.serial] = Locator{
-			Track:  firstData + uint32(p.off/payload),
-			Offset: uint32(p.off % payload),
-			Length: uint32(p.length),
-		}
-	}
 	maxSerial := s.meta.NextSerial
 	if c.NextSerial > maxSerial {
 		maxSerial = c.NextSerial
@@ -549,45 +625,79 @@ func (s *Store) Apply(c Commit) error {
 	if maxSerial <= 1 {
 		neededPages = 0
 	}
-	newPageTracks := append([]uint32(nil), s.pageTracks...)
-	for len(newPageTracks) < neededPages {
-		newPageTracks = append(newPageTracks, 0) // fresh empty page
+	// The next directory is double-buffered with the live one: on success
+	// the superseded directory becomes the scratch for the commit after.
+	npt := append(s.scratch.pageTracks[:0], s.pageTracks...)
+	for len(npt) < neededPages {
+		npt = append(npt, 0) // fresh empty page
 	}
-	dirty := make(map[int][]Locator)
+	s.scratch.pageTracks = npt
+	dirtyPages := s.scratch.dirtyPages[:0]
+	if s.scratch.dirtyAt == nil {
+		s.scratch.dirtyAt = make(map[int]int)
+	}
+	dirtyAt := s.scratch.dirtyAt
+	clear(dirtyAt)
+	committed := false
+	defer func() {
+		// A failed Apply owes every COW page back to the pool; a committed
+		// one has already published them into the page cache (recycling the
+		// pages they replaced instead).
+		if !committed {
+			for i := range dirtyPages {
+				putPage(&s.pagePool, dirtyPages[i].page)
+			}
+		}
+		s.scratch.dirtyPages = dirtyPages[:0]
+	}()
 	pageOf := func(serial uint64) (int, int) {
 		return int((serial - 1) / uint64(s.entriesPerPage)), int((serial - 1) % uint64(s.entriesPerPage))
 	}
 	ensureDirty := func(idx int) ([]Locator, error) {
-		if page, ok := dirty[idx]; ok {
-			return page, nil
+		if pi, ok := dirtyAt[idx]; ok {
+			return dirtyPages[pi].page, nil
 		}
-		var page []Locator
-		if idx < len(s.pageTracks) && newPageTracks[idx] != 0 {
+		page, reused := takePage(&s.pagePool, s.entriesPerPage)
+		if reused {
+			s.met.slabReuses.Inc()
+		} else {
+			s.met.slabGrows.Inc()
+		}
+		if idx < len(s.pageTracks) && npt[idx] != 0 {
 			orig, err := s.loadPageLocked(idx)
 			if err != nil {
+				putPage(&s.pagePool, page)
 				return nil, err
 			}
-			page = append([]Locator(nil), orig...)
+			copy(page, orig)
 		} else {
-			page = make([]Locator, s.entriesPerPage)
+			clear(page) // recycled pages carry stale locators; fresh pages are empty
 		}
-		dirty[idx] = page
+		dirtyAt[idx] = len(dirtyPages)
+		dirtyPages = append(dirtyPages, cowPage{idx: idx, page: page})
 		return page, nil
 	}
 	// Ascending serial order keeps page materialization deterministic for
-	// identical commits (detmap invariant).
-	placedSerials := make([]uint64, 0, len(newLocators))
-	for serial := range newLocators {
-		placedSerials = append(placedSerials, serial)
+	// identical commits (detmap invariant); a stable index tie-break keeps
+	// last-wins semantics for duplicate serials in one batch.
+	order := s.scratch.order[:0]
+	for i := range places {
+		order = append(order, i)
 	}
-	sort.Slice(placedSerials, func(i, j int) bool { return placedSerials[i] < placedSerials[j] })
-	for _, serial := range placedSerials {
-		idx, slot := pageOf(serial)
+	s.scratch.order = order
+	sort.SliceStable(order, func(a, b int) bool { return places[order[a]].serial < places[order[b]].serial })
+	for _, pi := range order {
+		p := places[pi]
+		idx, slot := pageOf(p.serial)
 		page, err := ensureDirty(idx)
 		if err != nil {
 			return err
 		}
-		page[slot] = newLocators[serial]
+		page[slot] = Locator{
+			Track:  firstData + uint32(p.off/payload),
+			Offset: uint32(p.off % payload),
+			Length: uint32(p.length),
+		}
 	}
 	for _, serial := range c.ArchiveSerials {
 		idx, slot := pageOf(serial)
@@ -599,36 +709,58 @@ func (s *Store) Apply(c Commit) error {
 	}
 	// Fresh pages beyond the old table that received no locator still need
 	// allocation (all-empty pages), so every page index has a track.
-	for idx := range newPageTracks {
-		if newPageTracks[idx] == 0 {
-			if _, ok := dirty[idx]; !ok {
-				dirty[idx] = make([]Locator, s.entriesPerPage)
+	for idx := range npt {
+		if npt[idx] == 0 {
+			if _, err := ensureDirty(idx); err != nil {
+				return err
 			}
 		}
 	}
 	// Ascending page order keeps the page-index -> track assignment (and so
 	// the whole shadow-paged image) identical for identical commits.
-	dirtyIdxs := make([]int, 0, len(dirty))
-	for idx := range dirty {
-		dirtyIdxs = append(dirtyIdxs, idx)
+	pageOrder := s.scratch.pageOrder[:0]
+	for i := range dirtyPages {
+		pageOrder = append(pageOrder, i)
 	}
-	sort.Ints(dirtyIdxs)
-	pageGroup := make(map[uint32][]byte, len(dirty))
-	for _, idx := range dirtyIdxs {
-		page := dirty[idx]
-		tr := s.tm.Allocate(1)
-		newPageTracks[idx] = tr
-		raw := make([]byte, s.entriesPerPage*locatorLen)
-		for i, loc := range page {
+	s.scratch.pageOrder = pageOrder
+	sort.Slice(pageOrder, func(a, b int) bool { return dirtyPages[pageOrder[a]].idx < dirtyPages[pageOrder[b]].idx })
+	// One image slab carries the encoded table pages and the directory
+	// chain; WriteRun copies into its own scratch, so slices of img are
+	// loans that end at each WriteRun return.
+	rawLen := s.entriesPerPage * locatorLen
+	perDir := (payload - 8) / 4
+	nDir := 0
+	if len(npt) > 0 {
+		nDir = (len(npt) + perDir - 1) / perDir
+	}
+	imgNeed := len(dirtyPages)*rawLen + nDir*8 + len(npt)*4
+	if cap(s.scratch.img) < imgNeed {
+		s.scratch.img = make([]byte, imgNeed)
+		s.met.slabGrows.Inc()
+	} else {
+		s.met.slabReuses.Inc()
+	}
+	img := s.scratch.img[:cap(s.scratch.img)]
+	imgOff := 0
+	firstPage := s.tm.Allocate(len(dirtyPages))
+	writes = writes[:0]
+	for pi, di := range pageOrder {
+		d := dirtyPages[di]
+		tr := firstPage + uint32(pi)
+		npt[d.idx] = tr
+		raw := img[imgOff : imgOff+rawLen]
+		imgOff += rawLen
+		for i, loc := range d.page {
 			off := i * locatorLen
 			putU32(raw[off:], loc.Track)
 			putU32(raw[off+4:], loc.Offset)
 			putU32(raw[off+8:], loc.Length)
 			putU32(raw[off+12:], loc.Flags)
 		}
-		pageGroup[tr] = raw
+		writes = append(writes, TrackWrite{Track: tr, Payload: raw})
 	}
-	if err := s.tm.WriteGroup(pageGroup); err != nil {
+	s.scratch.writes = writes
+	if err := s.tm.WriteRun(writes); err != nil {
 		return err
 	}
 	if err := s.failpoint("after-table"); err != nil {
@@ -636,19 +768,18 @@ func (s *Store) Apply(c Commit) error {
 	}
 
 	// --- Table directory chain ---
-	perDir := (payload - 8) / 4
 	var dirHead uint32
-	if len(newPageTracks) > 0 {
-		nDir := (len(newPageTracks) + perDir - 1) / perDir
+	if len(npt) > 0 {
 		firstDir := s.tm.Allocate(nDir)
-		dirGroup := make(map[uint32][]byte, nDir)
+		writes = writes[:0]
 		for i := 0; i < nDir; i++ {
 			lo := i * perDir
 			hi := lo + perDir
-			if hi > len(newPageTracks) {
-				hi = len(newPageTracks)
+			if hi > len(npt) {
+				hi = len(npt)
 			}
-			raw := make([]byte, 8+4*(hi-lo))
+			raw := img[imgOff : imgOff+8+4*(hi-lo)]
+			imgOff += len(raw)
 			putU32(raw[0:], uint32(hi-lo))
 			next := uint32(0)
 			if i+1 < nDir {
@@ -656,11 +787,12 @@ func (s *Store) Apply(c Commit) error {
 			}
 			putU32(raw[4:], next)
 			for j := lo; j < hi; j++ {
-				putU32(raw[8+4*(j-lo):], newPageTracks[j])
+				putU32(raw[8+4*(j-lo):], npt[j])
 			}
-			dirGroup[firstDir+uint32(i)] = raw
+			writes = append(writes, TrackWrite{Track: firstDir + uint32(i), Payload: raw})
 		}
-		if err := s.tm.WriteGroup(dirGroup); err != nil {
+		s.scratch.writes = writes
+		if err := s.tm.WriteRun(writes); err != nil {
 			return err
 		}
 		dirHead = firstDir
@@ -684,7 +816,7 @@ func (s *Store) Apply(c Commit) error {
 	}
 	oldMeta, oldPages := s.meta, s.pageTracks
 	s.meta = newMeta
-	s.pageTracks = newPageTracks
+	s.pageTracks = npt
 	s.dirTrackPending = dirHead
 	if err := s.failpoint("before-superblock"); err != nil {
 		s.meta, s.pageTracks = oldMeta, oldPages
@@ -694,10 +826,17 @@ func (s *Store) Apply(c Commit) error {
 		s.meta, s.pageTracks = oldMeta, oldPages
 		return err
 	}
-	// The new pages supersede cached copies.
-	for idx, page := range dirty {
-		s.pageCache[idx] = page
+	// Commit point passed: the new pages supersede cached copies, which
+	// come back to the pool, and the superseded directory becomes the next
+	// commit's scratch.
+	committed = true
+	for i := range dirtyPages {
+		if old, ok := s.pageCache[dirtyPages[i].idx]; ok {
+			putPage(&s.pagePool, old)
+		}
+		s.pageCache[dirtyPages[i].idx] = dirtyPages[i].page
 	}
+	s.scratch.pageTracks = oldPages[:0]
 	s.met.applies.Inc()
 	if s.tm.DegradedArms() > 0 {
 		s.met.degraded.Inc()

@@ -33,15 +33,25 @@ type TrackManager struct {
 	payload   int // trackSize minus checksum header
 	quorum    int // minimum durable arms for a write/sync to succeed
 
-	mu       sync.Mutex // guards arms, nTracks, cache, stats, scratch
+	mu       sync.Mutex // guards arms, nTracks, cache, stats, scratch, free, wbatch
 	arms     []*arm
 	nTracks  uint32 // allocation high-water mark
 	cache    map[uint32][]byte
 	cacheCap int
-	scratch  []byte // reusable whole-group track-image encode buffer
+	scratch  []byte       // reusable whole-group track-image encode buffer
+	free     [][]byte     // recycled track buffers (cache images, read staging)
+	wbatch   []TrackWrite // reusable write batch for the map-keyed entry points
 
 	stats TrackStats
 	met   trackMetrics
+}
+
+// TrackWrite names one track image in a write run. Payloads are copied
+// into the encode slab before any I/O, so callers may reuse both the
+// batch slice and the payload bytes as soon as WriteRun returns.
+type TrackWrite struct {
+	Track   uint32
+	Payload []byte
 }
 
 // trackMetrics mirrors TrackStats into the obs registry so live counters
@@ -55,6 +65,8 @@ type trackMetrics struct {
 	bytesWritten  *obs.Counter
 	cacheHits     *obs.Counter
 	syncs         *obs.Counter
+	slabReuses    *obs.Counter   // buffers served from a reuse pool (shared with Store)
+	slabGrows     *obs.Counter   // buffers the pools had to allocate fresh (shared with Store)
 	fallbacks     []*obs.Counter // indexed by the replica that salvaged the read
 	states        []*obs.Gauge   // per-replica ArmState (0 healthy, 1 suspect, 2 degraded)
 	repairs       *obs.Counter   // track copies rewritten from a valid arm (all paths)
@@ -187,6 +199,8 @@ func (tm *TrackManager) instrument(reg *obs.Registry) {
 		scrubRepaired: reg.Counter("store.scrub.repaired"),
 		scrubLost:     reg.Counter("store.scrub.lost"),
 		rebuilds:      reg.Counter("store.rebuilds"),
+		slabReuses:    reg.Counter("store.slab.reuses"),
+		slabGrows:     reg.Counter("store.slab.grows"),
 	}
 	for i, a := range tm.arms {
 		tm.met.fallbacks = append(tm.met.fallbacks, reg.Counter(fmt.Sprintf("store.replica.fallbacks.r%d", i)))
@@ -210,56 +224,73 @@ func (tm *TrackManager) ResetStats() {
 	tm.stats = TrackStats{}
 }
 
-// WriteGroup writes a set of tracks to every active arm, sorted ascending
-// (elevator order). The track images are encoded once into a reusable
-// scratch buffer, then fanned out concurrently — mirrored controllers
-// seek in parallel, so a replicated safe-write costs one device pass, not
-// Replicas sequential passes. Payloads shorter than the track payload are
-// zero-padded; longer payloads are an error. Arms whose writes fail are
-// degraded; the group succeeds while at least the write quorum of arms
-// holds it durably.
+// WriteGroup writes a set of tracks to every active arm. Map-keyed
+// convenience wrapper over WriteRun; the hot commit path builds
+// []TrackWrite batches directly and never pays for the map.
 func (tm *TrackManager) WriteGroup(group map[uint32][]byte) error {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
-	nums := make([]uint32, 0, len(group))
-	for n := range group {
-		nums = append(nums, n)
+	batch := tm.wbatch[:0]
+	for n, p := range group {
+		batch = append(batch, TrackWrite{Track: n, Payload: p})
 	}
-	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Track < batch[j].Track })
+	tm.wbatch = batch
+	return tm.writeRunLocked(batch)
+}
+
+// WriteRun writes a batch of tracks to every active arm, sorted ascending
+// (elevator order; the batch is sorted in place). The track images are
+// encoded once into a reusable scratch buffer, then fanned out
+// concurrently — mirrored controllers seek in parallel, so a replicated
+// safe-write costs one device pass, not Replicas sequential passes.
+// Payloads shorter than the track payload are zero-padded; longer
+// payloads are an error. Arms whose writes fail are degraded; the run
+// succeeds while at least the write quorum of arms holds it durably.
+func (tm *TrackManager) WriteRun(writes []TrackWrite) error {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.writeRunLocked(writes)
+}
+
+func (tm *TrackManager) writeRunLocked(writes []TrackWrite) error {
+	sort.Slice(writes, func(i, j int) bool { return writes[i].Track < writes[j].Track })
 	active := tm.activeLocked()
 	if len(active) < tm.quorum {
 		return fmt.Errorf("store: %d of %d replica arms active, need write quorum %d", len(active), len(tm.arms), tm.quorum)
 	}
-	need := len(nums) * tm.trackSize
+	need := len(writes) * tm.trackSize
 	if cap(tm.scratch) < need {
 		tm.scratch = make([]byte, need)
+		tm.met.slabGrows.Inc()
+	} else {
+		tm.met.slabReuses.Inc()
 	}
 	slab := tm.scratch[:need]
-	for i, n := range nums {
-		p := group[n]
-		if len(p) > tm.payload {
-			return fmt.Errorf("store: track payload %d exceeds %d", len(p), tm.payload)
+	for i, w := range writes {
+		if len(w.Payload) > tm.payload {
+			return fmt.Errorf("store: track payload %d exceeds %d", len(w.Payload), tm.payload)
 		}
 		buf := slab[i*tm.trackSize : (i+1)*tm.trackSize]
-		copy(buf[trackHeaderLen:], p)
-		for j := trackHeaderLen + len(p); j < len(buf); j++ {
+		copy(buf[trackHeaderLen:], w.Payload)
+		for j := trackHeaderLen + len(w.Payload); j < len(buf); j++ {
 			buf[j] = 0
 		}
 		sum := crc32.ChecksumIEEE(buf[trackHeaderLen:])
 		putU32(buf[0:], sum)
 		putU32(buf[4:], trackMagic)
 		for _, ri := range active {
-			tm.seekLocked(tm.arms[ri], n)
+			tm.seekLocked(tm.arms[ri], w.Track)
 		}
 		tm.stats.Writes += uint64(len(active))
 	}
-	tm.met.writes.Add(uint64(len(nums) * len(active)))
+	tm.met.writes.Add(uint64(len(writes) * len(active)))
 	tm.met.bytesWritten.Add(uint64(need * len(active)))
-	if err := tm.fanoutLocked(slab, nums, active); err != nil {
+	if err := tm.fanoutLocked(slab, writes, active); err != nil {
 		return err
 	}
-	for i, n := range nums {
-		tm.cacheInsertLocked(n, slab[i*tm.trackSize+trackHeaderLen:(i+1)*tm.trackSize])
+	for i, w := range writes {
+		tm.cacheInsertLocked(w.Track, slab[i*tm.trackSize+trackHeaderLen:(i+1)*tm.trackSize])
 	}
 	return nil
 }
@@ -269,10 +300,11 @@ func (tm *TrackManager) WriteGroup(group map[uint32][]byte) error {
 // concurrent use, and each goroutine touches only its own file and error
 // slot. Failed arms are marked degraded; the fan-out succeeds while the
 // write quorum survives.
-func (tm *TrackManager) fanoutLocked(slab []byte, nums []uint32, active []int) error {
+func (tm *TrackManager) fanoutLocked(slab []byte, writes []TrackWrite, active []int) error {
 	ts := tm.trackSize
 	writeAll := func(f ReplicaFile) error {
-		for i, n := range nums {
+		for i := range writes {
+			n := writes[i].Track
 			if _, err := f.WriteAt(slab[i*ts:(i+1)*ts], int64(n)*int64(ts)); err != nil {
 				return fmt.Errorf("store: write track %d: %w", n, err)
 			}
@@ -313,7 +345,10 @@ func (tm *TrackManager) fanoutLocked(slab []byte, nums []uint32, active []int) e
 
 // WriteTrack writes a single track.
 func (tm *TrackManager) WriteTrack(n uint32, payload []byte) error {
-	return tm.WriteGroup(map[uint32][]byte{n: payload})
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	tm.wbatch = append(tm.wbatch[:0], TrackWrite{Track: n, Payload: payload})
+	return tm.writeRunLocked(tm.wbatch)
 }
 
 // ReadTrack returns the payload of track n, trying active arms in order
@@ -324,12 +359,24 @@ func (tm *TrackManager) WriteTrack(n uint32, payload []byte) error {
 func (tm *TrackManager) ReadTrack(n uint32) ([]byte, error) {
 	tm.mu.Lock()
 	defer tm.mu.Unlock()
+	return tm.appendTrackLocked(nil, n, 0, tm.payload)
+}
+
+// appendTrackLocked appends up to length bytes of track n's payload,
+// starting at offset, onto dst (clamped at the payload end). Cache hits
+// copy straight out of the cached image; misses stage the device read in
+// a pooled track buffer, try active arms in order until one passes its
+// checksum, read-repair the arms that were bypassed, install a private
+// copy in the cache, and recycle the staging buffer before returning.
+// Nothing handed to the caller ever aliases the pool or the cache.
+func (tm *TrackManager) appendTrackLocked(dst []byte, n uint32, offset, length int) ([]byte, error) {
 	if p, ok := tm.cache[n]; ok {
 		tm.stats.CacheHits++
 		tm.met.cacheHits.Inc()
-		return append([]byte(nil), p...), nil
+		return appendClamped(dst, p, offset, length)
 	}
-	buf := make([]byte, tm.trackSize)
+	buf, reused := popTrack(&tm.free, tm.trackSize, tm.trackSize)
+	tm.countPop(reused)
 	var lastErr error
 	var failed []int // earlier arms whose copy was damaged
 	for ri, a := range tm.arms {
@@ -350,14 +397,30 @@ func (tm *TrackManager) ReadTrack(n uint32) ([]byte, error) {
 			}
 			tm.readRepairLocked(n, buf, failed)
 		}
-		p := append([]byte(nil), buf[trackHeaderLen:]...)
-		tm.cacheInsertLocked(n, p)
-		return p, nil
+		tm.cacheInsertLocked(n, buf[trackHeaderLen:])
+		out, err := appendClamped(dst, buf[trackHeaderLen:], offset, length)
+		tm.recycleLocked(buf)
+		return out, err
 	}
+	tm.recycleLocked(buf)
 	if lastErr == nil {
 		lastErr = fmt.Errorf("store: track %d unreadable", n)
 	}
 	return nil, lastErr
+}
+
+// appendClamped appends p[offset:offset+length], clamped to len(p), onto
+// dst. offset at or past the payload end is an error (a locator pointing
+// into padding).
+func appendClamped(dst, p []byte, offset, length int) ([]byte, error) {
+	if offset >= len(p) {
+		return nil, fmt.Errorf("store: offset %d beyond track payload", offset)
+	}
+	end := offset + length
+	if end > len(p) {
+		end = len(p)
+	}
+	return append(dst, p[offset:end]...), nil
 }
 
 // readRepairLocked writes a validated raw track image back onto the arms
@@ -390,21 +453,17 @@ func (tm *TrackManager) readRepairLocked(n uint32, img []byte, failed []int) {
 // boundaries as needed. The Boxer lays objects contiguously, so a spanning
 // object is a consecutive run of tracks.
 func (tm *TrackManager) ReadRange(track uint32, offset, length int) ([]byte, error) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
 	out := make([]byte, 0, length)
 	for length > 0 {
-		p, err := tm.ReadTrack(track)
+		before := len(out)
+		var err error
+		out, err = tm.appendTrackLocked(out, track, offset, length)
 		if err != nil {
 			return nil, err
 		}
-		if offset >= len(p) {
-			return nil, fmt.Errorf("store: offset %d beyond track payload", offset)
-		}
-		n := len(p) - offset
-		if n > length {
-			n = length
-		}
-		out = append(out, p[offset:offset+n]...)
-		length -= n
+		length -= len(out) - before
 		offset = 0
 		track++
 	}
@@ -497,22 +556,64 @@ func (tm *TrackManager) DropCache() {
 }
 
 // cacheInsertLocked stores a private copy of p, so callers may pass
-// transient buffers (the scratch slab) and cached payloads are never
-// aliased by anything handed out.
+// transient buffers (the scratch slab, pooled staging buffers) and cached
+// payloads are never aliased by anything handed out. The copy lives in a
+// pooled buffer; the entry it replaces or evicts is recycled, so a warm
+// cache inserts without allocating.
 func (tm *TrackManager) cacheInsertLocked(n uint32, p []byte) {
 	if tm.cacheCap <= 0 {
 		return
 	}
-	if len(tm.cache) >= tm.cacheCap {
+	if old, ok := tm.cache[n]; ok {
+		tm.recycleLocked(old)
+	} else if len(tm.cache) >= tm.cacheCap {
 		// Evict an arbitrary entry; the cache is a small working-set buffer,
 		// not a scored LRU, matching a simple controller buffer.
 		//lint:ignore detmap in-memory cache eviction only; never reaches a track image
 		for k := range tm.cache {
+			tm.recycleLocked(tm.cache[k])
 			delete(tm.cache, k)
 			break
 		}
 	}
-	tm.cache[n] = append([]byte(nil), p...)
+	b, reused := popTrack(&tm.free, len(p), tm.trackSize)
+	tm.countPop(reused)
+	copy(b, p)
+	tm.cache[n] = b
+}
+
+// popTrack takes a recycled buffer from the pool, resliced to size, or
+// allocates a fresh one with the given full capacity. The second result
+// reports whether the pool served it. A free function on purpose: pool
+// buffers are transient loans, and keeping the pop out of method form
+// keeps aliasret focused on the paths that can actually leak a loan.
+func popTrack(pool *[][]byte, size, full int) ([]byte, bool) {
+	if n := len(*pool); n > 0 {
+		b := (*pool)[n-1]
+		(*pool)[n-1] = nil
+		*pool = (*pool)[:n-1]
+		return b[:size], true
+	}
+	return make([]byte, full)[:size], false
+}
+
+// recycleLocked returns a buffer to the pool for reuse. Only full-capacity
+// track buffers are kept — reslicing on pop depends on it — and the pool
+// is bounded so a cold burst cannot pin memory forever.
+func (tm *TrackManager) recycleLocked(buf []byte) {
+	if cap(buf) < tm.trackSize || len(tm.free) >= tm.cacheCap+16 {
+		return
+	}
+	tm.free = append(tm.free, buf[:tm.trackSize])
+}
+
+// countPop records a pool pop against the shared slab instruments.
+func (tm *TrackManager) countPop(reused bool) {
+	if reused {
+		tm.met.slabReuses.Inc()
+	} else {
+		tm.met.slabGrows.Inc()
+	}
 }
 
 func putU32(b []byte, v uint32) {
