@@ -59,6 +59,13 @@ bench:
 GATE_BENCH = BenchmarkCommitAllocs/workers=1$$|BenchmarkC3_OptimisticCommits/disjoint/workers=1$$
 GATE_TIME  = 300x
 
+# The streaming-executor plan benchmarks that gate the query path's
+# allocation budget (the C1 plan family over the 85-employee Acme set).
+# Read-only queries don't grow history, but a fixed iteration count keeps
+# the gate cheap and deterministic anyway.
+QUERY_GATE_BENCH = BenchmarkC1_QueryPlans/(optimized|parallel)/employees=85$$
+QUERY_GATE_TIME  = 50x
+
 # bench-gate compares a fresh run against the committed commit_gate
 # baseline in BENCH_2.json and fails on regression. B/op and allocs/op
 # are tight (they don't depend on machine speed); ns/op is a loose
@@ -68,6 +75,9 @@ bench-gate:
 	$(GO) test -bench '$(GATE_BENCH)' -benchtime=$(GATE_TIME) -benchmem -run '^$$' . \
 	  | $(GO) run ./cmd/benchjson -gate BENCH_2.json -section commit_gate \
 	      -metric B/op:1.25 -metric allocs/op:1.2 -metric ns/op:4.0
+	$(GO) test -bench '$(QUERY_GATE_BENCH)' -benchtime=$(QUERY_GATE_TIME) -benchmem -run '^$$' . \
+	  | $(GO) run ./cmd/benchjson -gate BENCH_2.json -section query_gate \
+	      -metric B/op:1.25 -metric allocs/op:1.2 -metric ns/op:4.0
 
 # bench-gate-record re-baselines the gate. Run deliberately, in the same
 # PR as an intentional commit-path change, never to paper over a
@@ -75,3 +85,5 @@ bench-gate:
 bench-gate-record:
 	$(GO) test -bench '$(GATE_BENCH)' -benchtime=$(GATE_TIME) -benchmem -run '^$$' . \
 	  | $(GO) run ./cmd/benchjson -o BENCH_2.json -section commit_gate
+	$(GO) test -bench '$(QUERY_GATE_BENCH)' -benchtime=$(QUERY_GATE_TIME) -benchmem -run '^$$' . \
+	  | $(GO) run ./cmd/benchjson -o BENCH_2.json -section query_gate

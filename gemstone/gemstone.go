@@ -238,6 +238,25 @@ func (se *Session) QueryNaive(src string) ([]Row, error) {
 	return rowsOf(tuples), nil
 }
 
+// QueryParallel executes the optimized plan with its outermost scan fanned
+// across a bounded worker pool (workers <= 0 selects the default). Results
+// are identical to Query, in the same order.
+func (se *Session) QueryParallel(src string, workers int) ([]Row, error) {
+	q, err := calculus.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := algebra.Optimize(q, se.s)
+	if err != nil {
+		return nil, err
+	}
+	tuples, _, err := p.ExecParallel(se.s, workers)
+	if err != nil {
+		return nil, err
+	}
+	return rowsOf(tuples), nil
+}
+
 func rowsOf(tuples []algebra.Tuple) []Row {
 	rows := make([]Row, len(tuples))
 	for i, t := range tuples {

@@ -5,14 +5,19 @@
 // dependent scans (nested loops over possibly variable-dependent sources),
 // directory-backed index scans, selections and a final projection.
 //
-// The optimizer performs the access planning the paper says a declarative
-// syntax enables (§5.2): selection pushdown, directory (index) selection,
-// and range reordering by estimated cardinality.
+// Execution is streaming end to end: scans pull members through the storage
+// cursors (core.Session.MembersFunc, IndexLookupFunc/IndexRangeFunc) and
+// bind them into one reusable slot frame per execution, so no member slice
+// and no per-row binding map is ever materialized. The optimizer performs
+// the access planning the paper says a declarative syntax enables (§5.2):
+// selection pushdown, directory (index) selection, and range reordering by
+// estimated cardinality.
 package algebra
 
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/calculus"
 	"repro/internal/core"
@@ -43,14 +48,62 @@ type Stats struct {
 	PredEvals      int // selection predicate evaluations
 }
 
+func (s *Stats) add(o Stats) {
+	s.MembersScanned += o.MembersScanned
+	s.IndexProbes += o.IndexProbes
+	s.PredEvals += o.PredEvals
+}
+
+// frame is the executor's reusable slot-based binding environment. Each
+// scan/index-scan node owns one slot, assigned when the plan is built; a
+// node re-binds its slot in place for every row it emits, so extending a
+// binding costs zero allocations. Values read out of the frame are only
+// valid until the producing node's next emission — consumers that retain a
+// row (the final projection) must copy what they keep, never alias the
+// frame's backing array.
+type frame struct {
+	vars []string
+	vals []oop.OOP
+	set  []bool
+	base calculus.Env // externally supplied initial binding, if any
+}
+
+// LookupVar implements calculus.Env. Inner (later) slots shadow outer ones
+// and set slots shadow the base binding, mirroring how the old map clones
+// layered each scan's variable over the initial binding.
+func (f *frame) LookupVar(name string) (oop.OOP, bool) {
+	for i := len(f.vars) - 1; i >= 0; i-- {
+		if f.vars[i] == name && f.set[i] {
+			return f.vals[i], true
+		}
+	}
+	if f.base != nil {
+		return f.base.LookupVar(name)
+	}
+	return oop.Invalid, false
+}
+
+// fanout tells one designated scan node to iterate a pre-materialized
+// member chunk instead of opening its own cursor — the mechanism behind
+// parallel execution, where the outermost scan's members are split into
+// contiguous chunks across a worker pool.
+type fanout struct {
+	node    Node
+	members []oop.OOP
+}
+
 type execCtx struct {
 	s     *core.Session
 	stats *Stats
+	frame *frame
+	fan   *fanout
 }
 
-// Node is a push-based algebra operator.
+// Node is a streaming algebra operator. compile builds the node's drive
+// function once per execution: all closures are allocated up front, and the
+// per-row work inside them touches only the shared frame.
 type Node interface {
-	exec(ctx *execCtx, in calculus.Binding, emit func(calculus.Binding) error) error
+	compile(ctx *execCtx, emit func() error) func() error
 	describe(indent int, b *strings.Builder)
 }
 
@@ -73,6 +126,7 @@ type scanNode struct {
 	input  Node // nil = start of pipeline
 	v      string
 	source calculus.Expr
+	slot   int
 }
 
 func (n *scanNode) describe(indent int, b *strings.Builder) {
@@ -83,9 +137,23 @@ func (n *scanNode) describe(indent int, b *strings.Builder) {
 	}
 }
 
-func (n *scanNode) exec(ctx *execCtx, in calculus.Binding, emit func(calculus.Binding) error) error {
-	body := func(b calculus.Binding) error {
-		src, err := calculus.Eval(ctx.s, n.source, b)
+func (n *scanNode) compile(ctx *execCtx, emit func() error) func() error {
+	cursor := func(m oop.OOP) error {
+		ctx.stats.MembersScanned++
+		ctx.frame.vals[n.slot] = m
+		ctx.frame.set[n.slot] = true
+		return emit()
+	}
+	body := func() error {
+		if fan := ctx.fan; fan != nil && fan.node == Node(n) {
+			for _, m := range fan.members {
+				if err := cursor(m); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		src, err := calculus.Eval(ctx.s, n.source, ctx.frame)
 		if err != nil {
 			return err
 		}
@@ -95,24 +163,12 @@ func (n *scanNode) exec(ctx *execCtx, in calculus.Binding, emit func(calculus.Bi
 		if src.Kind != calculus.VObj && src.Kind != calculus.VStr {
 			return fmt.Errorf("algebra: range source %s is not a set", n.source)
 		}
-		members, err := ctx.s.Members(src.O)
-		if err != nil {
-			return err
-		}
-		for _, m := range members {
-			ctx.stats.MembersScanned++
-			nb := b.Clone()
-			nb[n.v] = m
-			if err := emit(nb); err != nil {
-				return err
-			}
-		}
-		return nil
+		return ctx.s.MembersFunc(src.O, cursor)
 	}
 	if n.input == nil {
-		return body(in)
+		return body
 	}
-	return n.input.exec(ctx, in, body)
+	return n.input.compile(ctx, body)
 }
 
 // --- IndexScan: directory-backed associative access ---
@@ -134,6 +190,7 @@ type indexScanNode struct {
 	path  []string
 	op    indexOp
 	key   calculus.Expr // evaluated per input binding
+	slot  int
 }
 
 func (n *indexScanNode) describe(indent int, b *strings.Builder) {
@@ -145,45 +202,49 @@ func (n *indexScanNode) describe(indent int, b *strings.Builder) {
 	}
 }
 
-func (n *indexScanNode) exec(ctx *execCtx, in calculus.Binding, emit func(calculus.Binding) error) error {
-	body := func(b calculus.Binding) error {
-		kv, err := calculus.Eval(ctx.s, n.key, b)
+func (n *indexScanNode) compile(ctx *execCtx, emit func() error) func() error {
+	cursor := func(m oop.OOP) error {
+		ctx.frame.vals[n.slot] = m
+		ctx.frame.set[n.slot] = true
+		return emit()
+	}
+	// One key cell per execution, re-filled on every probe, so taking its
+	// address for range bounds does not allocate per row.
+	var key directory.Key
+	body := func() error {
+		kv, err := calculus.Eval(ctx.s, n.key, ctx.frame)
 		if err != nil {
 			return err
 		}
-		key, ok := valueToKey(kv)
+		k, ok := valueToKey(kv)
 		if !ok {
 			return fmt.Errorf("algebra: %s does not evaluate to an indexable key", n.key)
 		}
+		key = k
 		ctx.stats.IndexProbes++
-		var members []oop.OOP
+		// A missing directory (dropped between planning and execution)
+		// surfaces as core.ErrNoDirectory instead of zero silent rows.
 		switch n.op {
 		case ixEq:
-			members, _ = ctx.s.IndexLookup(n.set, n.path, key)
+			return ctx.s.IndexLookupFunc(n.set, n.path, key, cursor)
 		case ixLt:
-			members, _ = ctx.s.IndexRange(n.set, n.path, nil, &key, true, false)
+			return ctx.s.IndexRangeFunc(n.set, n.path, nil, &key, true, false, cursor)
 		case ixLe:
-			members, _ = ctx.s.IndexRange(n.set, n.path, nil, &key, true, true)
+			return ctx.s.IndexRangeFunc(n.set, n.path, nil, &key, true, true, cursor)
 		case ixGt:
-			members, _ = ctx.s.IndexRange(n.set, n.path, &key, nil, false, true)
-		case ixGe:
-			members, _ = ctx.s.IndexRange(n.set, n.path, &key, nil, true, true)
+			return ctx.s.IndexRangeFunc(n.set, n.path, &key, nil, false, true, cursor)
+		default: // ixGe
+			return ctx.s.IndexRangeFunc(n.set, n.path, &key, nil, true, true, cursor)
 		}
-		for _, m := range members {
-			nb := b.Clone()
-			nb[n.v] = m
-			if err := emit(nb); err != nil {
-				return err
-			}
-		}
-		return nil
 	}
 	if n.input == nil {
-		return body(in)
+		return body
 	}
-	return n.input.exec(ctx, in, body)
+	return n.input.compile(ctx, body)
 }
 
+// valueToKey converts a calculus value into an index key. ok=false means
+// the value has no key form (e.g. an empty char) — never a panic.
 func valueToKey(v calculus.Value) (directory.Key, bool) {
 	switch v.Kind {
 	case calculus.VNil:
@@ -195,7 +256,11 @@ func valueToKey(v calculus.Value) (directory.Key, bool) {
 	case calculus.VStr:
 		return directory.StringKey(v.S), true
 	case calculus.VChar:
-		return directory.CharKey([]rune(v.S)[0]), true
+		r := []rune(v.S)
+		if len(r) == 0 {
+			return directory.Key{}, false
+		}
+		return directory.CharKey(r[0]), true
 	case calculus.VObj:
 		return directory.OOPKey(v.O), true
 	}
@@ -217,22 +282,22 @@ func (n *selectNode) describe(indent int, b *strings.Builder) {
 	}
 }
 
-func (n *selectNode) exec(ctx *execCtx, in calculus.Binding, emit func(calculus.Binding) error) error {
-	body := func(b calculus.Binding) error {
+func (n *selectNode) compile(ctx *execCtx, emit func() error) func() error {
+	body := func() error {
 		ctx.stats.PredEvals++
-		v, err := calculus.Eval(ctx.s, n.pred, b)
+		v, err := calculus.Eval(ctx.s, n.pred, ctx.frame)
 		if err != nil {
 			return err
 		}
 		if calculus.Truthy(v) {
-			return emit(b)
+			return emit()
 		}
 		return nil
 	}
 	if n.input == nil {
-		return body(in)
+		return body
 	}
-	return n.input.exec(ctx, in, body)
+	return n.input.compile(ctx, body)
 }
 
 // --- Project ---
@@ -254,18 +319,100 @@ func (n *projectNode) describe(indent int, b *strings.Builder) {
 	}
 }
 
-func (n *projectNode) exec(ctx *execCtx, in calculus.Binding, emit func(calculus.Binding) error) error {
-	return n.input.exec(ctx, in, emit)
+func (n *projectNode) compile(ctx *execCtx, emit func() error) func() error {
+	return n.input.compile(ctx, emit)
 }
 
 // Plan is an executable algebra expression.
 type Plan struct {
 	root   *projectNode
 	fields []calculus.TargetField
+	labels []string
+	vars   []string // frame slot names, outer-to-inner pipeline order
+	slots  []int    // fields[i] -> frame slot, -1 when externally bound
+
+	// scratch pools flat result-value accumulators across executions, so a
+	// run's only output allocations are the exact-size tuple slice and one
+	// value slab. Pooled memory never escapes: the accumulator is copied
+	// into the fresh slab before the pool gets it back.
+	scratch sync.Pool // *runScratch
+}
+
+type runScratch struct {
+	vals []oop.OOP // row-major: nf values per result row
+}
+
+// newPlan finalizes a node tree into a plan: every scan/index-scan node is
+// assigned its frame slot and the projection's fields are resolved to slots.
+func newPlan(root *projectNode, fields []calculus.TargetField) *Plan {
+	p := &Plan{root: root, fields: fields}
+	p.scratch.New = func() any { return &runScratch{} }
+	p.assignSlots(root)
+	p.labels = make([]string, len(fields))
+	p.slots = make([]int, len(fields))
+	for i, f := range fields {
+		p.labels[i] = f.Label
+		p.slots[i] = -1
+		for j, v := range p.vars {
+			if v == f.Var {
+				p.slots[i] = j // later slots win, like inner bindings
+			}
+		}
+	}
+	return p
+}
+
+func (p *Plan) assignSlots(n Node) {
+	switch t := n.(type) {
+	case *scanNode:
+		if t.input != nil {
+			p.assignSlots(t.input)
+		}
+		t.slot = len(p.vars)
+		p.vars = append(p.vars, t.v)
+	case *indexScanNode:
+		if t.input != nil {
+			p.assignSlots(t.input)
+		}
+		t.slot = len(p.vars)
+		p.vars = append(p.vars, t.v)
+	case *selectNode:
+		if t.input != nil {
+			p.assignSlots(t.input)
+		}
+	case *projectNode:
+		if t.input != nil {
+			p.assignSlots(t.input)
+		}
+	}
+}
+
+func (p *Plan) newFrame(initial calculus.Binding) *frame {
+	f := &frame{
+		vars: p.vars,
+		vals: make([]oop.OOP, len(p.vars)),
+		set:  make([]bool, len(p.vars)),
+	}
+	if len(initial) > 0 {
+		f.base = initial
+	}
+	return f
 }
 
 // Explain renders the plan.
 func (p *Plan) Explain() string { return Explain(p.root) }
+
+// ExplainParallel renders the plan annotated with the fan-out ExecParallel
+// would apply at the given worker count.
+func (p *Plan) ExplainParallel(workers int) string {
+	if workers <= 0 {
+		workers = DefaultParallelism
+	}
+	if _, ok := p.outerScan(); !ok {
+		return p.Explain() + "\n(parallel: outer node not fannable; serial fallback)"
+	}
+	return fmt.Sprintf("parallel workers=%d over outer scan\n%s", workers, p.Explain())
+}
 
 // Exec runs the plan in a session, returning result tuples and statistics.
 func (p *Plan) Exec(s *core.Session) ([]Tuple, Stats, error) {
@@ -276,22 +423,187 @@ func (p *Plan) Exec(s *core.Session) ([]Tuple, Stats, error) {
 // OPAL's embedded calculus expressions, whose "procedural parts" are the
 // enclosing method's variables (§5.4).
 func (p *Plan) ExecWith(s *core.Session, initial calculus.Binding) ([]Tuple, Stats, error) {
-	ctx := &execCtx{s: s, stats: &Stats{}}
-	var out []Tuple
-	labels := make([]string, len(p.fields))
-	for i, f := range p.fields {
-		labels[i] = f.Label
-	}
-	err := p.root.exec(ctx, initial, func(b calculus.Binding) error {
-		vals := make([]oop.OOP, len(p.fields))
-		for i, f := range p.fields {
-			vals[i] = b[f.Var]
+	ctx := &execCtx{s: s, stats: &Stats{}, frame: p.newFrame(initial)}
+	out, err := p.run(ctx)
+	return out, *ctx.stats, err
+}
+
+// run compiles the pipeline against ctx and drives it to completion. Result
+// values accumulate row-major in a pooled flat scratch slab; on success they
+// are copied once into an exact-size slab that backs every Tuple's Values.
+// That copy is the aliasing boundary: returned tuples never share storage
+// with the frame or with pooled scratch memory.
+func (p *Plan) run(ctx *execCtx) ([]Tuple, error) {
+	sc := p.scratch.Get().(*runScratch)
+	sc.vals = sc.vals[:0]
+	nf := len(p.fields)
+	rows := 0
+	drive := p.root.compile(ctx, func() error {
+		rows++
+		for i, sl := range p.slots {
+			var v oop.OOP
+			if sl >= 0 && ctx.frame.set[sl] {
+				v = ctx.frame.vals[sl]
+			} else if lv, ok := ctx.frame.LookupVar(p.fields[i].Var); ok {
+				v = lv
+			}
+			sc.vals = append(sc.vals, v)
 		}
-		out = append(out, Tuple{Labels: labels, Values: vals})
 		return nil
 	})
+	err := drive()
 	if err != nil {
-		return nil, *ctx.stats, err
+		p.scratch.Put(sc)
+		return nil, err
 	}
-	return out, *ctx.stats, nil
+	var out []Tuple
+	if rows > 0 {
+		slab := make([]oop.OOP, len(sc.vals))
+		copy(slab, sc.vals)
+		out = make([]Tuple, rows)
+		for i := range out {
+			out[i] = Tuple{Labels: p.labels, Values: slab[i*nf : (i+1)*nf : (i+1)*nf]}
+		}
+	}
+	p.scratch.Put(sc)
+	return out, nil
+}
+
+// DefaultParallelism is the worker count ExecParallel uses when the caller
+// passes workers <= 0.
+const DefaultParallelism = 4
+
+// outerScan returns the pipeline's bottom node when it is a plain scan —
+// the outermost loop, the only node worth fanning out. Plans whose bottom
+// is an index scan fall back to serial execution: a single directory probe
+// has no member stream to split.
+func (p *Plan) outerScan() (*scanNode, bool) {
+	var n Node = p.root
+	for {
+		switch t := n.(type) {
+		case *projectNode:
+			if t.input == nil {
+				return nil, false
+			}
+			n = t.input
+		case *selectNode:
+			if t.input == nil {
+				return nil, false
+			}
+			n = t.input
+		case *scanNode:
+			if t.input == nil {
+				return t, true
+			}
+			n = t.input
+		case *indexScanNode:
+			if t.input == nil {
+				return nil, false
+			}
+			n = t.input
+		default:
+			return nil, false
+		}
+	}
+}
+
+// ExecParallel runs the plan with the outermost scan fanned across a
+// bounded worker pool. Results and statistics are bit-identical to Exec:
+// workers own contiguous chunks of the outer member stream and are merged
+// in worker order, which reproduces the serial emission order exactly.
+func (p *Plan) ExecParallel(s *core.Session, workers int) ([]Tuple, Stats, error) {
+	return p.ExecParallelWith(s, calculus.Binding{}, workers)
+}
+
+// ExecParallelWith is ExecParallel with an initial binding. The parent
+// session is read-only for the duration: each worker runs on a ForkReader
+// whose recorded reads are absorbed back before returning, so optimistic
+// validation still covers everything the workers touched.
+func (p *Plan) ExecParallelWith(s *core.Session, initial calculus.Binding, workers int) ([]Tuple, Stats, error) {
+	if workers <= 0 {
+		workers = DefaultParallelism
+	}
+	outer, ok := p.outerScan()
+	if !ok || workers == 1 {
+		return p.ExecWith(s, initial)
+	}
+	// Resolve the outer source once and materialize only its member list —
+	// the one set that must be split into chunks.
+	src, err := calculus.Eval(s, outer.source, p.newFrame(initial))
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if src.Kind == calculus.VNil {
+		return nil, Stats{}, nil
+	}
+	if src.Kind != calculus.VObj && src.Kind != calculus.VStr {
+		return nil, Stats{}, fmt.Errorf("algebra: range source %s is not a set", outer.source)
+	}
+	var members []oop.OOP
+	if err := s.MembersFunc(src.O, func(m oop.OOP) error {
+		members = append(members, m)
+		return nil
+	}); err != nil {
+		return nil, Stats{}, err
+	}
+	if workers > len(members) {
+		workers = len(members)
+	}
+	if workers <= 1 {
+		// Too little outer fan-in to be worth forking; still honour the
+		// already-materialized members through the fan path so the outer
+		// cursor is not opened twice.
+		ctx := &execCtx{s: s, stats: &Stats{}, frame: p.newFrame(initial),
+			fan: &fanout{node: outer, members: members}}
+		out, err := p.run(ctx)
+		return out, *ctx.stats, err
+	}
+	reg := s.DB().Obs()
+	reg.Counter("query.parallel.runs").Inc()
+	reg.Counter("query.parallel.workers").Add(uint64(workers))
+
+	type shard struct {
+		fork  *core.Session
+		out   []Tuple
+		stats Stats
+		err   error
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sh := &shards[w]
+		sh.fork = s.ForkReader()
+		chunk := members[w*len(members)/workers : (w+1)*len(members)/workers]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := &execCtx{
+				s:     sh.fork,
+				stats: &sh.stats,
+				frame: p.newFrame(initial),
+				fan:   &fanout{node: outer, members: chunk},
+			}
+			sh.out, sh.err = p.run(ctx)
+		}()
+	}
+	wg.Wait()
+	var stats Stats
+	total := 0
+	for w := range shards {
+		sh := &shards[w]
+		s.AbsorbReads(sh.fork)
+		if sh.err != nil {
+			return nil, stats, sh.err
+		}
+		total += len(sh.out)
+	}
+	out := make([]Tuple, 0, total)
+	for w := range shards {
+		stats.add(shards[w].stats)
+		out = append(out, shards[w].out...)
+	}
+	if total == 0 {
+		out = nil
+	}
+	return out, stats, nil
 }

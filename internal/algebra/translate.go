@@ -26,7 +26,7 @@ func Translate(q *calculus.Query) (*Plan, error) {
 		cur = &selectNode{input: cur, pred: q.Pred}
 	}
 	root := &projectNode{input: cur, fields: q.Target}
-	return &Plan{root: root, fields: q.Target}, nil
+	return newPlan(root, q.Target), nil
 }
 
 // Optimize converts a calculus query into an optimized plan:
@@ -169,7 +169,7 @@ func OptimizeWithBound(q *calculus.Query, s *core.Session, prebound map[string]b
 		}
 	}
 	root := &projectNode{input: cur, fields: q.Target}
-	return &Plan{root: root, fields: q.Target}, nil
+	return newPlan(root, q.Target), nil
 }
 
 // OptimizePushdownOnly applies selection pushdown but keeps the ranges in
@@ -213,7 +213,7 @@ func OptimizePushdownOnly(q *calculus.Query, s *core.Session) (*Plan, error) {
 		}
 	}
 	root := &projectNode{input: cur, fields: q.Target}
-	return &Plan{root: root, fields: q.Target}, nil
+	return newPlan(root, q.Target), nil
 }
 
 func isGlobalRoot(s *core.Session, name string) bool {
@@ -252,11 +252,12 @@ func estimateCost(s *core.Session, r calculus.Range, bound map[string]bool) floa
 			return 64
 		}
 	}
-	// Independent: try to resolve and count.
+	// Independent: try to resolve and count. MemberCount reads only the
+	// set object's element table — planning never scans member bodies.
 	if p, ok := r.Source.(*calculus.Path); ok {
 		if o, err := calculus.EvalPath(s, p, calculus.Binding{}); err == nil && o.IsHeap() {
-			if ms, err := s.Members(o); err == nil {
-				return float64(len(ms)) + 2
+			if n, err := s.MemberCount(o); err == nil {
+				return float64(n) + 2
 			}
 		}
 	}

@@ -1,14 +1,29 @@
 package calculus
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/oop"
 )
 
+// Env supplies variable values during evaluation. Binding is the map-backed
+// implementation; the algebra executor supplies a reusable slot-frame
+// implementation so streaming pipelines bind variables without allocating
+// per row.
+type Env interface {
+	LookupVar(name string) (oop.OOP, bool)
+}
+
 // Binding maps calculus variables to values during evaluation.
 type Binding map[string]oop.OOP
+
+// LookupVar implements Env.
+func (b Binding) LookupVar(name string) (oop.OOP, bool) {
+	v, ok := b[name]
+	return v, ok
+}
 
 // Clone copies a binding (iterators extend bindings without aliasing).
 func (b Binding) Clone() Binding {
@@ -112,7 +127,7 @@ func Truthy(v Value) bool { return v.Kind == VBool && v.B }
 // Eval evaluates an expression under a binding. The session's globals serve
 // as fallback roots for unbound path variables (X!Employees with X a
 // global).
-func Eval(s *core.Session, e Expr, b Binding) (Value, error) {
+func Eval(s *core.Session, e Expr, env Env) (Value, error) {
 	switch n := e.(type) {
 	case Num:
 		return Value{Kind: VNum, N: n.V}, nil
@@ -123,26 +138,31 @@ func Eval(s *core.Session, e Expr, b Binding) (Value, error) {
 	case Nil:
 		return Value{Kind: VNil, O: oop.Nil}, nil
 	case *Path:
-		o, err := EvalPath(s, n, b)
+		o, err := EvalPath(s, n, env)
 		if err != nil {
 			return Value{}, err
 		}
 		return Decode(s, o), nil
 	case *Not:
-		v, err := Eval(s, n.E, b)
+		v, err := Eval(s, n.E, env)
 		if err != nil {
 			return Value{}, err
 		}
 		return Value{Kind: VBool, B: !Truthy(v)}, nil
 	case *Binary:
-		return evalBinary(s, n, b)
+		return evalBinary(s, n, env)
 	}
 	return Value{}, fmt.Errorf("calculus: unknown expression %T", e)
 }
 
-// EvalPath resolves a path expression to an OOP under a binding.
-func EvalPath(s *core.Session, p *Path, b Binding) (oop.OOP, error) {
-	cur, ok := b[p.Root]
+// EvalPath resolves a path expression to an OOP under a binding. A nil env
+// behaves as an empty binding: only globals resolve.
+func EvalPath(s *core.Session, p *Path, env Env) (oop.OOP, error) {
+	var cur oop.OOP
+	var ok bool
+	if env != nil {
+		cur, ok = env.LookupVar(p.Root)
+	}
 	if !ok {
 		if g, found := s.Global(p.Root); found {
 			cur = g
@@ -175,41 +195,41 @@ func EvalPath(s *core.Session, p *Path, b Binding) (oop.OOP, error) {
 	return cur, nil
 }
 
-func evalBinary(s *core.Session, n *Binary, b Binding) (Value, error) {
+func evalBinary(s *core.Session, n *Binary, env Env) (Value, error) {
 	// Short-circuit logical operators.
 	switch n.Op {
 	case OpAnd:
-		l, err := Eval(s, n.L, b)
+		l, err := Eval(s, n.L, env)
 		if err != nil {
 			return Value{}, err
 		}
 		if !Truthy(l) {
 			return Value{Kind: VBool, B: false}, nil
 		}
-		r, err := Eval(s, n.R, b)
+		r, err := Eval(s, n.R, env)
 		if err != nil {
 			return Value{}, err
 		}
 		return Value{Kind: VBool, B: Truthy(r)}, nil
 	case OpOr:
-		l, err := Eval(s, n.L, b)
+		l, err := Eval(s, n.L, env)
 		if err != nil {
 			return Value{}, err
 		}
 		if Truthy(l) {
 			return Value{Kind: VBool, B: true}, nil
 		}
-		r, err := Eval(s, n.R, b)
+		r, err := Eval(s, n.R, env)
 		if err != nil {
 			return Value{}, err
 		}
 		return Value{Kind: VBool, B: Truthy(r)}, nil
 	}
-	l, err := Eval(s, n.L, b)
+	l, err := Eval(s, n.L, env)
 	if err != nil {
 		return Value{}, err
 	}
-	r, err := Eval(s, n.R, b)
+	r, err := Eval(s, n.R, env)
 	if err != nil {
 		return Value{}, err
 	}
@@ -264,19 +284,43 @@ func evalBinary(s *core.Session, n *Binary, b Binding) (Value, error) {
 	return Value{}, fmt.Errorf("calculus: unsupported operator %s", n.Op)
 }
 
-// evalIn tests structural membership of l in the set r.
+// errStopIteration is a private cursor early-exit sentinel; it never
+// escapes this package.
+var errStopIteration = errors.New("calculus: stop iteration")
+
+// evalIn tests structural membership of l in the set r, streaming the
+// members through a cursor and stopping at the first match.
 func evalIn(s *core.Session, l, r Value) (Value, error) {
 	if r.Kind != VObj && r.Kind != VStr {
 		return Value{}, fmt.Errorf("calculus: right side of 'in' is not a set")
 	}
-	members, err := s.Members(r.O)
-	if err != nil {
+	found := false
+	k := s.DB().Kernel()
+	err := s.MembersFunc(r.O, func(m oop.OOP) error {
+		// Fast path for string sets (§5.2's d!Name in e!Depts): compare the
+		// member's bytes against l directly — string(b) == l.S compiles to
+		// an allocation-free comparison — instead of decoding a Value.
+		if l.Kind == VStr && m.IsHeap() {
+			if cls := s.ClassOf(m); cls == k.String || cls == k.Symbol {
+				b, err := s.BytesOf(m)
+				if err != nil {
+					return err
+				}
+				if string(b) == l.S {
+					found = true
+					return errStopIteration
+				}
+				return nil
+			}
+		}
+		if Equal(l, Decode(s, m)) {
+			found = true
+			return errStopIteration
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopIteration) {
 		return Value{}, err
 	}
-	for _, m := range members {
-		if Equal(l, Decode(s, m)) {
-			return Value{Kind: VBool, B: true}, nil
-		}
-	}
-	return Value{Kind: VBool, B: false}, nil
+	return Value{Kind: VBool, B: found}, nil
 }

@@ -83,10 +83,15 @@ type DB struct {
 }
 
 // coreMetrics counts the §4.3 access-path split: associative lookups that
-// went through a maintained index versus full membership scans.
+// went through a maintained index versus full membership scans — plus the
+// streaming-executor cursor traffic layered on top of those access paths.
 type coreMetrics struct {
 	indexLookups *obs.Counter
 	scans        *obs.Counter
+
+	cursorOpens   *obs.Counter // streaming cursors opened (set + index)
+	cursorMembers *obs.Counter // members emitted through streaming cursors
+	memberCounts  *obs.Counter // O(1)-per-element MemberCount planner probes
 }
 
 // Open opens or bootstraps the database under dir.
@@ -109,8 +114,11 @@ func Open(dir string, opts Options) (*DB, error) {
 		nextSerial: meta.NextSerial,
 		obs:        reg,
 		met: coreMetrics{
-			indexLookups: reg.Counter("directory.index.lookups"),
-			scans:        reg.Counter("directory.scans"),
+			indexLookups:  reg.Counter("directory.index.lookups"),
+			scans:         reg.Counter("directory.scans"),
+			cursorOpens:   reg.Counter("query.cursor.opens"),
+			cursorMembers: reg.Counter("query.cursor.members"),
+			memberCounts:  reg.Counter("query.member.counts"),
 		},
 	}
 	// The transaction manager hands validated commit groups back to the

@@ -420,37 +420,96 @@ func (s *Session) FindIndex(set oop.OOP, path []string) (*directory.Directory, b
 	return nil, false
 }
 
+// ErrNoDirectory reports an index operation against a set/path pair with no
+// maintained directory — for example one dropped between planning and
+// execution. Callers must surface it rather than treat it as zero rows.
+var ErrNoDirectory = errors.New("core: no maintained directory for set/path")
+
 // IndexLookup returns the members of set bound under the given key in the
 // session's current view, using a maintained directory.
 func (s *Session) IndexLookup(set oop.OOP, path []string, key directory.Key) ([]oop.OOP, bool) {
-	d, ok := s.FindIndex(set, path)
-	if !ok {
+	out := []oop.OOP{}
+	if err := s.IndexLookupFunc(set, path, key, func(m oop.OOP) error {
+		out = append(out, m)
+		return nil
+	}); err != nil {
 		return nil, false
-	}
-	s.db.met.indexLookups.Inc()
-	s.recordRead(set)
-	entries := d.Lookup(key, s.readTime())
-	out := make([]oop.OOP, 0, len(entries))
-	for _, e := range entries {
-		out = append(out, e.Member)
 	}
 	return out, true
 }
 
-// IndexRange returns members with keys in [lo,hi] bounds (nil = unbounded).
-func (s *Session) IndexRange(set oop.OOP, path []string, lo, hi *directory.Key, loInc, hiInc bool) ([]oop.OOP, bool) {
+// IndexLookupFunc streams the members of set bound under key to fn through
+// a maintained directory, in directory entry order. It returns
+// ErrNoDirectory (wrapped) when no directory covers the set/path pair, and
+// otherwise the first error from fn.
+func (s *Session) IndexLookupFunc(set oop.OOP, path []string, key directory.Key, fn func(oop.OOP) error) error {
 	d, ok := s.FindIndex(set, path)
 	if !ok {
-		return nil, false
+		return fmt.Errorf("%w: %v by %v", ErrNoDirectory, set, path)
 	}
 	s.db.met.indexLookups.Inc()
+	s.db.met.cursorOpens.Inc()
 	s.recordRead(set)
-	entries := d.Range(lo, hi, loInc, hiInc, s.readTime())
-	out := make([]oop.OOP, 0, len(entries))
-	for _, e := range entries {
-		out = append(out, e.Member)
+	return d.LookupFunc(key, s.readTime(), func(e directory.Entry) error {
+		s.db.met.cursorMembers.Inc()
+		return fn(e.Member)
+	})
+}
+
+// IndexRange returns members with keys in [lo,hi] bounds (nil = unbounded).
+func (s *Session) IndexRange(set oop.OOP, path []string, lo, hi *directory.Key, loInc, hiInc bool) ([]oop.OOP, bool) {
+	out := []oop.OOP{}
+	if err := s.IndexRangeFunc(set, path, lo, hi, loInc, hiInc, func(m oop.OOP) error {
+		out = append(out, m)
+		return nil
+	}); err != nil {
+		return nil, false
 	}
 	return out, true
+}
+
+// IndexRangeFunc streams members with keys in [lo,hi] bounds (nil =
+// unbounded) to fn in ascending key order. It returns ErrNoDirectory
+// (wrapped) when no directory covers the set/path pair, and otherwise the
+// first error from fn.
+func (s *Session) IndexRangeFunc(set oop.OOP, path []string, lo, hi *directory.Key, loInc, hiInc bool, fn func(oop.OOP) error) error {
+	d, ok := s.FindIndex(set, path)
+	if !ok {
+		return fmt.Errorf("%w: %v by %v", ErrNoDirectory, set, path)
+	}
+	s.db.met.indexLookups.Inc()
+	s.db.met.cursorOpens.Inc()
+	s.recordRead(set)
+	return d.RangeFunc(lo, hi, loInc, hiInc, s.readTime(), func(e directory.Entry) error {
+		s.db.met.cursorMembers.Inc()
+		return fn(e.Member)
+	})
+}
+
+// DropIndex removes the maintained directory on set keyed by path and
+// persists the change. In-flight plans that chose the directory fail their
+// next probe with ErrNoDirectory instead of silently reading zero rows.
+func (s *Session) DropIndex(set oop.OOP, path []string) error {
+	syms := make([]oop.OOP, len(path))
+	for i, p := range path {
+		syms[i] = s.db.SymbolFor(p)
+	}
+	s.db.mu.Lock()
+	found := false
+	kept := make([]*maintained, 0, len(s.db.dirs))
+	for _, m := range s.db.dirs {
+		if m.dir.Set == set && pathEqual(m.dir.Path, syms) {
+			found = true
+			continue
+		}
+		kept = append(kept, m)
+	}
+	s.db.dirs = kept
+	s.db.mu.Unlock()
+	if !found {
+		return fmt.Errorf("%w: %v by %v", ErrNoDirectory, set, path)
+	}
+	return s.db.persistDirectories()
 }
 
 // --- Out-of-band system state persistence ---

@@ -697,25 +697,100 @@ func (s *Session) RemoveFromSet(set, name oop.OOP) error {
 // Members returns the values of all elements of set in the current view,
 // excluding the hidden alias counter.
 func (s *Session) Members(set oop.OOP) ([]oop.OOP, error) {
-	s.db.met.scans.Inc()
-	names, err := s.ElementNames(set)
-	if err != nil {
+	var out []oop.OOP
+	if err := s.MembersFunc(set, func(m oop.OOP) error {
+		out = append(out, m)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	var out []oop.OOP
-	for _, n := range names {
-		if n == s.db.wk.aliasCounter {
+	return out, nil
+}
+
+// MembersFunc streams the members of set in the current view to fn, in
+// element insertion order, excluding the hidden alias counter. It is the
+// cursor form of Members: one pass over the set object's own elements, no
+// member slice. Iteration stops at the first error from fn, which is
+// returned. The callback must not write to the session.
+func (s *Session) MembersFunc(set oop.OOP, fn func(oop.OOP) error) error {
+	s.db.met.scans.Inc()
+	s.db.met.cursorOpens.Inc()
+	ob, own, err := s.lookup(set)
+	if err != nil {
+		return err
+	}
+	s.recordRead(set)
+	t := s.readTime()
+	for _, el := range ob.Elements() {
+		if el.Name == s.db.wk.aliasCounter {
 			continue
 		}
-		v, ok, err := s.Fetch(set, n)
-		if err != nil {
-			return nil, err
+		v, ok := fetchFrom(ob, own, el.Name, t)
+		if !ok || v == oop.Nil {
+			continue
 		}
-		if ok && v != oop.Nil {
-			out = append(out, v)
+		s.db.met.cursorMembers.Inc()
+		if err := fn(v); err != nil {
+			return err
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// MemberCount returns the number of members of set in the current view
+// without materializing a member slice and without counting as a membership
+// scan: it reads only the set object's own element table, never a member
+// body. The planner uses it so that cost estimation touches no data pages.
+func (s *Session) MemberCount(set oop.OOP) (int, error) {
+	s.db.met.memberCounts.Inc()
+	ob, own, err := s.lookup(set)
+	if err != nil {
+		return 0, err
+	}
+	s.recordRead(set)
+	t := s.readTime()
+	n := 0
+	for _, el := range ob.Elements() {
+		if el.Name == s.db.wk.aliasCounter {
+			continue
+		}
+		if v, ok := fetchFrom(ob, own, el.Name, t); ok && v != oop.Nil {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// ForkReader returns a read-only sibling of the session for use on another
+// goroutine during parallel query execution. The fork shares the committed
+// snapshot, time dial, workspace and transients (all accessed read-only)
+// but records its reads in a private set, because the optimistic read set
+// is a plain map the parent mutates on every tracked read. Neither the
+// parent nor any fork may write while forks are live; fold each fork's
+// reads back into the parent with AbsorbReads before committing.
+func (s *Session) ForkReader() *Session {
+	return &Session{
+		db:      s.db,
+		user:    s.user,
+		homeSeg: s.homeSeg,
+		tx:      s.tx,
+		dial:    s.dial,
+
+		ws:         s.ws,
+		transients: s.transients,
+		promoted:   s.promoted,
+		reads:      make(map[oop.OOP]struct{}),
+		writes:     make(map[oop.OOP]struct{}),
+	}
+}
+
+// AbsorbReads merges a ForkReader's recorded reads into this session's
+// optimistic read set, so validation still covers everything the parallel
+// workers looked at. Call it after the fork's goroutine has finished.
+func (s *Session) AbsorbReads(fork *Session) {
+	for o := range fork.reads {
+		s.reads[o] = struct{}{}
+	}
 }
 
 // Archive moves committed objects to the simulated offline medium

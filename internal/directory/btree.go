@@ -148,18 +148,31 @@ func (ix *Index) Close(k Key, name, member oop.OOP, at oop.Time) bool {
 
 // Lookup returns the entries under k alive in the state at t.
 func (ix *Index) Lookup(k Key, t oop.Time) []Entry {
+	var out []Entry
+	_ = ix.LookupFunc(k, t, func(e Entry) error {
+		out = append(out, e)
+		return nil
+	})
+	return out
+}
+
+// LookupFunc streams the entries under k alive in the state at t to fn
+// without materializing a slice. Iteration stops at the first error, which
+// is returned.
+func (ix *Index) LookupFunc(k Key, t oop.Time, fn func(Entry) error) error {
 	ix.lookups++
 	n := ix.root
 	for {
 		i, found := n.find(k)
 		if found {
-			var out []Entry
 			for _, e := range n.items[i].entries {
 				if e.aliveAt(t) {
-					out = append(out, e)
+					if err := fn(e); err != nil {
+						return err
+					}
 				}
 			}
-			return out
+			return nil
 		}
 		if n.leaf() {
 			return nil
@@ -171,13 +184,23 @@ func (ix *Index) Lookup(k Key, t oop.Time) []Entry {
 // Range returns entries with lo <= key <= hi (bounds included per loInc /
 // hiInc) alive at t, in ascending key order. A nil bound is unbounded.
 func (ix *Index) Range(lo, hi *Key, loInc, hiInc bool, t oop.Time) []Entry {
-	ix.lookups++
 	var out []Entry
-	ix.walk(ix.root, lo, hi, loInc, hiInc, t, &out)
+	_ = ix.RangeFunc(lo, hi, loInc, hiInc, t, func(e Entry) error {
+		out = append(out, e)
+		return nil
+	})
 	return out
 }
 
-func (ix *Index) walk(n *node, lo, hi *Key, loInc, hiInc bool, t oop.Time, out *[]Entry) {
+// RangeFunc streams entries with keys in the given bounds alive at t to fn
+// in ascending key order, without materializing a slice. Iteration stops at
+// the first error, which is returned.
+func (ix *Index) RangeFunc(lo, hi *Key, loInc, hiInc bool, t oop.Time, fn func(Entry) error) error {
+	ix.lookups++
+	return ix.walk(ix.root, lo, hi, loInc, hiInc, t, fn)
+}
+
+func (ix *Index) walk(n *node, lo, hi *Key, loInc, hiInc bool, t oop.Time, fn func(Entry) error) error {
 	for i := 0; i <= len(n.items); i++ {
 		if !n.leaf() {
 			// Child i holds keys strictly between items[i-1].key and
@@ -191,7 +214,9 @@ func (ix *Index) walk(n *node, lo, hi *Key, loInc, hiInc bool, t oop.Time, out *
 				skip = true // every key in the child is above hi
 			}
 			if !skip {
-				ix.walk(n.children[i], lo, hi, loInc, hiInc, t, out)
+				if err := ix.walk(n.children[i], lo, hi, loInc, hiInc, t, fn); err != nil {
+					return err
+				}
 			}
 		}
 		if i < len(n.items) {
@@ -208,9 +233,12 @@ func (ix *Index) walk(n *node, lo, hi *Key, loInc, hiInc bool, t oop.Time, out *
 			}
 			for _, e := range n.items[i].entries {
 				if e.aliveAt(t) {
-					*out = append(*out, e)
+					if err := fn(e); err != nil {
+						return err
+					}
 				}
 			}
 		}
 	}
+	return nil
 }

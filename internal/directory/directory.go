@@ -59,6 +59,18 @@ func (d *Directory) Range(lo, hi *Key, loInc, hiInc bool, t oop.Time) []Entry {
 	return d.ix.Range(lo, hi, loInc, hiInc, t)
 }
 
+// LookupFunc streams entries with key k alive at t to fn, stopping at the
+// first error (which is returned).
+func (d *Directory) LookupFunc(k Key, t oop.Time, fn func(Entry) error) error {
+	return d.ix.LookupFunc(k, t, fn)
+}
+
+// RangeFunc streams entries with keys in the given bounds alive at t to fn
+// in ascending key order, stopping at the first error (which is returned).
+func (d *Directory) RangeFunc(lo, hi *Key, loInc, hiInc bool, t oop.Time, fn func(Entry) error) error {
+	return d.ix.RangeFunc(lo, hi, loInc, hiInc, t, fn)
+}
+
 // String describes the directory for diagnostics.
 func (d *Directory) String() string {
 	return fmt.Sprintf("directory(%v by %v, %d keys)", d.Set, d.Path, d.ix.Keys())
