@@ -49,6 +49,7 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./... | tee /tmp/bench_out.txt
 	$(GO) run ./cmd/benchjson -o BENCH_2.json -section current < /tmp/bench_out.txt
+	$(GO) run ./cmd/gsbench -openloop -conns 1000 -ledger BENCH_2.json
 	$(GO) run ./cmd/gsbench -all
 
 # The single-writer commit benchmarks that gate the commit path's

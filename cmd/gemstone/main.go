@@ -28,6 +28,12 @@ func main() {
 	quorum := flag.Int("quorum", 1, "minimum replica arms a commit must reach durably")
 	sysPassword := flag.String("syspass", "swordfish", "SystemUser password (used at bootstrap)")
 	idle := flag.Duration("idletimeout", 0, "drop connections idle longer than this (0 = never)")
+	maxInFlight := flag.Int("maxinflight", 0, "max pipelined frames per connection (0 = default 8)")
+	queueDepth := flag.Int("queuedepth", 0, "admission queue depth before requests are shed (0 = admission off unless -maxconcurrent)")
+	queueWait := flag.Duration("queuewait", 0, "max time a request waits for an execution slot (0 = default 100ms)")
+	maxConcurrent := flag.Int("maxconcurrent", 0, "max concurrent heavy ops; login/execute/commit (0 = admission off unless -queuedepth)")
+	deadline := flag.Duration("deadline", 0, "default per-request execution deadline (0 = none)")
+	drainTimeout := flag.Duration("draintimeout", 30*time.Second, "max time to drain in-flight requests on shutdown (0 = wait forever)")
 	statsEvery := flag.Duration("statsevery", 0, "dump engine metrics to stderr at this interval (0 = never)")
 	scrubEvery := flag.Duration("scrubevery", 0, "run an online replica scrub pass at this interval (0 = never)")
 	flag.Parse()
@@ -53,7 +59,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gemstone: listen: %v\n", err)
 		os.Exit(1)
 	}
-	srv := wire.ServeConfig(ln, executor.New(db), wire.Config{IdleTimeout: *idle})
+	srv := wire.ServeConfig(ln, executor.New(db), wire.Config{
+		IdleTimeout:     *idle,
+		MaxInFlight:     *maxInFlight,
+		QueueDepth:      *queueDepth,
+		QueueWait:       *queueWait,
+		MaxConcurrent:   *maxConcurrent,
+		DefaultDeadline: *deadline,
+	})
 	fmt.Printf("gemstone: serving %s on %s (last committed time %v)\n",
 		*dbDir, srv.Addr(), db.Core().TxnManager().LastCommitted())
 
@@ -101,10 +114,23 @@ func main() {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
+	// First interrupt: graceful drain — stop accepting, shed queued work,
+	// let in-flight commits finish and flush their acknowledgments.
+	// Second interrupt: close hard.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	close(stop)
-	fmt.Println("\ngemstone: shutting down")
-	srv.Close()
+	fmt.Println("\ngemstone: draining (interrupt again to close hard)")
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Shutdown(*drainTimeout) }()
+	select {
+	case err := <-drained:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gemstone: drain: %v\n", err)
+		}
+	case <-sig:
+		fmt.Println("gemstone: closing hard")
+		srv.Close()
+	}
 }

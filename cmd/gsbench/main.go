@@ -8,12 +8,14 @@
 //	gsbench -exp fig1
 //	gsbench -all
 //	gsbench -stats -ledger BENCH_2.json
+//	gsbench -openloop -conns 1000 -ledger BENCH_2.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -23,10 +25,34 @@ func main() {
 	exp := flag.String("exp", "", "run one experiment by id")
 	all := flag.Bool("all", false, "run every experiment")
 	stats := flag.Bool("stats", false, "run the engine-counter workload and append an 'engine' section to the ledger")
-	ledger := flag.String("ledger", "", "ledger file for -stats (default: print only)")
+	openloop := flag.Bool("openloop", false, "run the open-loop overload workload and append a 'frontend' section to the ledger")
+	conns := flag.Int("conns", 1000, "connection count for -openloop")
+	rate := flag.Float64("rate", 0, "offered requests/s for -openloop (0 = sweep 0.5x/1x/2x of measured peak)")
+	duration := flag.Duration("duration", 2*time.Second, "length of each -openloop measurement run")
+	ledger := flag.String("ledger", "", "ledger file for -stats/-openloop (default: print only)")
 	flag.Parse()
 
 	switch {
+	case *openloop:
+		section, err := experiments.Frontend(os.Stdout, *conns, *rate, *duration)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: openloop: %v\n", err)
+			os.Exit(1)
+		}
+		if *ledger == "" {
+			return
+		}
+		doc, err := experiments.ReadLedger(*ledger)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: %v\n", err)
+			os.Exit(1)
+		}
+		doc["frontend"] = section
+		if err := experiments.WriteLedger(*ledger, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "gsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote frontend section to %s\n", *ledger)
 	case *stats:
 		section, err := experiments.EngineStats(os.Stdout, 4, 25)
 		if err != nil {

@@ -65,6 +65,7 @@ func main() {
 	user := flag.String("user", gemstone.SystemUser, "user name")
 	password := flag.String("password", "swordfish", "password")
 	execSrc := flag.String("e", "", "execute one block and exit")
+	callTimeout := flag.Duration("calltimeout", 0, "give up on a server response after this long (0 = wait forever)")
 	flag.Parse()
 
 	var sess session
@@ -75,6 +76,9 @@ func main() {
 			fatal(err)
 		}
 		defer c.Close()
+		if *callTimeout > 0 {
+			c.SetCallTimeout(*callTimeout)
+		}
 		rs, err := c.Login(*user, *password)
 		if err != nil {
 			fatal(err)

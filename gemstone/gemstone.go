@@ -20,6 +20,7 @@
 package gemstone
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/algebra"
@@ -296,10 +297,22 @@ func (se *Session) PathAssign(expr string, value Value, env map[string]Value) er
 // Print renders any value as OPAL's printString.
 func (se *Session) Print(v Value) (string, error) { return se.in.PrintString(v) }
 
+// SetContext bounds the session's next request by ctx: OPAL execution,
+// query scans and CommitCtx abandon work once ctx is cancelled, returning
+// an error wrapping the cause. Pass nil to clear. Set it between requests
+// — a Session is single-goroutine and this is not a concurrent interrupt.
+func (se *Session) SetContext(ctx context.Context) { se.s.SetContext(ctx) }
+
 // Commit validates and durably applies the transaction, returning the
 // assigned transaction time. On conflict the workspace has been discarded
 // and a fresh transaction begun.
 func (se *Session) Commit() (Time, error) { return se.s.Commit() }
+
+// CommitCtx is Commit bounded by a request context: if ctx is already
+// cancelled before the commit reaches admission, the transaction aborts
+// (no transaction time consumed) and the cancellation error is returned.
+// Once admitted the commit always runs to durability.
+func (se *Session) CommitCtx(ctx context.Context) (Time, error) { return se.s.CommitCtx(ctx) }
 
 // Abort discards pending changes.
 func (se *Session) Abort() { se.s.Abort() }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -47,7 +48,20 @@ type Session struct {
 	// promoted tracks transients promoted during the current transaction,
 	// so an abort can demote them instead of losing them.
 	promoted map[uint64]*object.Object
+
+	// ctx, when non-nil, bounds the current request: long-running scans and
+	// the interpreter poll it and abandon work once it is cancelled. It is
+	// set per-request by the session's owner (see SetContext) and cleared
+	// when the request returns; it never outlives a request.
+	ctx context.Context
+	// ctxPoll amortizes context polling: pollCancel consults ctx.Err() only
+	// every pollInterval-th call, so per-member scan cost stays flat.
+	ctxPoll uint32
 }
+
+// pollInterval is how many pollCancel calls pass between real ctx.Err()
+// checks. Power of two so the modulus is a mask.
+const pollInterval = 64
 
 // NewSession authenticates a user and begins a transaction.
 func (db *DB) NewSession(user, password string) (*Session, error) {
@@ -70,6 +84,45 @@ func (s *Session) begin() {
 	s.reads = make(map[oop.OOP]struct{})
 	s.writes = make(map[oop.OOP]struct{})
 	s.promoted = make(map[uint64]*object.Object)
+}
+
+// SetContext bounds the session's next request by ctx: scans
+// (MembersFunc, MemberCount), the OPAL interpreter loop and CommitCtx
+// abandon work once ctx is cancelled. Pass nil to clear. The session is
+// single-goroutine, so this is set by the owner between requests, never
+// concurrently with one.
+func (s *Session) SetContext(ctx context.Context) {
+	s.ctx = ctx
+	s.ctxPoll = 0
+}
+
+// Context returns the request context set by SetContext, or nil.
+func (s *Session) Context() context.Context { return s.ctx }
+
+// CancelErr reports whether the session's request context has been
+// cancelled, wrapping the cause (context.DeadlineExceeded or
+// context.Canceled) so callers can classify it with errors.Is.
+func (s *Session) CancelErr() error {
+	if s.ctx == nil {
+		return nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		return fmt.Errorf("core: request interrupted: %w", err)
+	}
+	return nil
+}
+
+// pollCancel is the amortized form of CancelErr for per-element loops:
+// it consults the context only every pollInterval-th call.
+func (s *Session) pollCancel() error {
+	if s.ctx == nil {
+		return nil
+	}
+	s.ctxPoll++
+	if s.ctxPoll&(pollInterval-1) != 0 {
+		return nil
+	}
+	return s.CancelErr()
 }
 
 // User returns the session's user name.
@@ -501,7 +554,18 @@ func (s *Session) SetGlobal(name string, value oop.OOP) error {
 // durable. On conflict the workspace is discarded, a fresh transaction
 // begins, and the error wraps txn.ErrConflict.
 func (s *Session) Commit() (oop.Time, error) {
-	t, err := s.db.txm.Commit(s.tx, s.reads, s.writes, s.ws)
+	return s.CommitCtx(nil)
+}
+
+// CommitCtx is Commit bounded by a request context: if ctx is already
+// cancelled before the transaction reaches the commit pipeline's
+// admission, the transaction is aborted (workspace discarded, fresh
+// transaction begun, no transaction time consumed) and the cancellation
+// error is returned. Once admitted, the commit runs to durability — a
+// deadline never abandons a transaction whose time has been assigned.
+// A nil ctx commits unconditionally.
+func (s *Session) CommitCtx(ctx context.Context) (oop.Time, error) {
+	t, err := s.db.txm.CommitCtx(ctx, s.tx, s.reads, s.writes, s.ws)
 	if err != nil {
 		s.demotePromoted()
 		s.begin()
@@ -722,6 +786,9 @@ func (s *Session) MembersFunc(set oop.OOP, fn func(oop.OOP) error) error {
 	s.recordRead(set)
 	t := s.readTime()
 	for _, el := range ob.Elements() {
+		if err := s.pollCancel(); err != nil {
+			return err
+		}
 		if el.Name == s.db.wk.aliasCounter {
 			continue
 		}
@@ -751,6 +818,9 @@ func (s *Session) MemberCount(set oop.OOP) (int, error) {
 	t := s.readTime()
 	n := 0
 	for _, el := range ob.Elements() {
+		if err := s.pollCancel(); err != nil {
+			return 0, err
+		}
 		if el.Name == s.db.wk.aliasCounter {
 			continue
 		}
@@ -781,6 +851,10 @@ func (s *Session) ForkReader() *Session {
 		promoted:   s.promoted,
 		reads:      make(map[oop.OOP]struct{}),
 		writes:     make(map[oop.OOP]struct{}),
+
+		// Forks inherit the request context so a deadline cancels the
+		// parallel workers too; each fork polls independently.
+		ctx: s.ctx,
 	}
 }
 

@@ -6,6 +6,7 @@
 package executor
 
 import (
+	"context"
 	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -42,10 +43,34 @@ type Executor struct {
 	met    execMetrics
 }
 
+// remote serializes one session's commands. The token channel is a
+// capacity-1 semaphore rather than a mutex so a waiter can give up when
+// its request deadline expires: a request queued behind a slow command on
+// the same session is shed before it consumes the session, not after.
 type remote struct {
-	mu sync.Mutex // one command at a time per session
-	se *gemstone.Session
+	sem chan struct{} // cap 1: holding the token = running this session's command
+	se  *gemstone.Session
 }
+
+func newRemote(se *gemstone.Session) *remote {
+	return &remote{sem: make(chan struct{}, 1), se: se}
+}
+
+// acquire takes the session's command token; a nil ctx waits forever.
+func (r *remote) acquire(ctx context.Context) error {
+	if ctx == nil {
+		r.sem <- struct{}{}
+		return nil
+	}
+	select {
+	case r.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("executor: waiting for session: %w", ctx.Err())
+	}
+}
+
+func (r *remote) release() { <-r.sem }
 
 // execMetrics instruments the session frontier: how many users are live,
 // how fast their blocks run, and which sources ran slow.
@@ -117,7 +142,7 @@ func (e *Executor) Login(user, password string) (SessionID, error) {
 	if err != nil {
 		return 0, err
 	}
-	e.sessions[id] = &remote{se: se}
+	e.sessions[id] = newRemote(se)
 	e.met.logins.Inc()
 	e.met.sessions.Set(int64(len(e.sessions)))
 	return id, nil
@@ -136,21 +161,39 @@ func (e *Executor) session(id SessionID) (*remote, error) {
 // Execute runs a block of OPAL source in the session, returning the
 // printString of the result and any Transcript output.
 func (e *Executor) Execute(id SessionID, source string) (result, output string, err error) {
+	return e.ExecuteCtx(nil, id, source)
+}
+
+// ExecuteCtx is Execute bounded by a request context: cancellation is
+// honored while waiting for the session's command token (the request is
+// shed without touching the session) and polled during execution by the
+// interpreter and scan cursors. An execution interrupted mid-block rolls
+// the session's transaction back — a half-applied OPAL block must not
+// survive into a later commit — and the session stays usable. A nil ctx
+// never cancels.
+func (e *Executor) ExecuteCtx(ctx context.Context, id SessionID, source string) (result, output string, err error) {
 	r, err := e.session(id)
 	if err != nil {
 		return "", "", err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	if err := r.acquire(ctx); err != nil {
+		return "", "", err
+	}
+	defer r.release()
 	if r.se == nil {
 		return "", "", fmt.Errorf("%w: %d", ErrNoSession, id)
 	}
+	r.se.SetContext(ctx)
+	defer r.se.SetContext(nil)
 	sw := e.met.executeNS.Start()
 	res, err := r.se.Execute(source)
 	if d := sw.Stop(); d >= e.slowNS.Load() {
 		e.met.slow.Record(d, source)
 	}
 	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			r.se.Abort()
+		}
 		return "", res.Output, err
 	}
 	return res.Printed, res.Output, nil
@@ -158,16 +201,26 @@ func (e *Executor) Execute(id SessionID, source string) (result, output string, 
 
 // Commit commits the session's transaction, returning the transaction time.
 func (e *Executor) Commit(id SessionID) (oop.Time, error) {
+	return e.CommitCtx(nil, id)
+}
+
+// CommitCtx is Commit bounded by a request context: cancellation is
+// honored while waiting for the session's command token and once more
+// before the transaction reaches commit admission (aborting it cleanly);
+// after admission the commit always runs to durability.
+func (e *Executor) CommitCtx(ctx context.Context, id SessionID) (oop.Time, error) {
 	r, err := e.session(id)
 	if err != nil {
 		return 0, err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	if err := r.acquire(ctx); err != nil {
+		return 0, err
+	}
+	defer r.release()
 	if r.se == nil {
 		return 0, fmt.Errorf("%w: %d", ErrNoSession, id)
 	}
-	return r.se.Commit()
+	return r.se.CommitCtx(ctx)
 }
 
 // Abort discards the session's pending changes.
@@ -176,8 +229,10 @@ func (e *Executor) Abort(id SessionID) error {
 	if err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	if err := r.acquire(nil); err != nil {
+		return err
+	}
+	defer r.release()
 	if r.se == nil {
 		return fmt.Errorf("%w: %d", ErrNoSession, id)
 	}
@@ -200,8 +255,10 @@ func (e *Executor) Logout(id SessionID) error {
 	e.met.logouts.Inc()
 	e.met.sessions.Set(int64(len(e.sessions)))
 	e.mu.Unlock()
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	if err := r.acquire(nil); err != nil {
+		return err
+	}
+	defer r.release()
 	if r.se != nil {
 		r.se.Close()
 		r.se = nil

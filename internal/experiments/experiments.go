@@ -41,6 +41,7 @@ func All() []Experiment {
 		{"c9", "C9: entity identity vs relational logical pointers", C9},
 		{"c10", "C10: GemStone representation vs LOOM whole-object faulting", C10},
 		{"c11", "C11: availability under injected replica faults", C11},
+		{"c12", "C12: overload shedding, request deadlines, and graceful drain", C12},
 	}
 }
 

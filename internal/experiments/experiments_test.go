@@ -52,8 +52,8 @@ func TestFastClaims(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Errorf("experiments = %d, want 15", len(all))
+	if len(all) != 16 {
+		t.Errorf("experiments = %d, want 16", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

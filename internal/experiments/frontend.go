@@ -1,0 +1,450 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/gemstone"
+	"repro/internal/executor"
+	"repro/internal/wire"
+)
+
+// This file is the front-end overload harness behind claim C12: the wire
+// layer's bounded admission, request deadlines, and graceful drain keep
+// the server live and honest when offered load exceeds capacity. It is
+// both a gsbench mode (`gsbench -openloop`, recorded as the "frontend"
+// ledger section) and the C12 experiment.
+
+// frontendSource is the per-request workload: a small OPAL spin loop so a
+// request costs real interpreter time (~a millisecond) rather than pure
+// wire overhead. Capacity is then executor-bound, which is the regime the
+// admission controller is designed for.
+const frontendSource = "1 to: 4000 do: [:i | i]. 'ok'"
+
+// frontendConfig is the server posture under test: bounded pipelining,
+// a small execution-slot pool, a finite admission queue, and a short
+// queue-wait budget so overload turns into fast retryable sheds.
+func frontendConfig() wire.Config {
+	return wire.Config{
+		MaxInFlight:   8,
+		MaxConcurrent: 4,
+		QueueDepth:    64,
+		QueueWait:     50 * time.Millisecond,
+	}
+}
+
+// serveFrontend starts a wire server over db on a loopback port.
+func serveFrontend(db *gemstone.DB, cfg wire.Config) (*wire.Server, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	return wire.ServeConfig(ln, executor.New(db), cfg), ln.Addr().String(), nil
+}
+
+// fleet is a pool of logged-in connections, one session per connection,
+// like a population of independent host programs (§6).
+type fleet struct {
+	clients  []*wire.Client
+	sessions []*wire.RemoteSession
+}
+
+// dialFleet opens conns connections and logs each in, dialing in parallel
+// so a 1000-connection fleet comes up in seconds. Every client carries a
+// call timeout (bounds the local wait) and a request deadline (bounds the
+// server-side execution), so no request can hang the harness.
+func dialFleet(addr string, conns int) (*fleet, error) {
+	f := &fleet{
+		clients:  make([]*wire.Client, conns),
+		sessions: make([]*wire.RemoteSession, conns),
+	}
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	sem := make(chan struct{}, 32)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c, err := wire.DialRetry(addr, 2*time.Second, 5)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			c.SetCallTimeout(5 * time.Second)
+			c.SetRequestDeadline(500 * time.Millisecond)
+			rs, err := c.Login(gemstone.SystemUser, "swordfish")
+			if err != nil {
+				c.Close()
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			f.clients[i] = c
+			f.sessions[i] = rs
+		}(i)
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		f.close()
+		return nil, err.(error)
+	}
+	return f, nil
+}
+
+func (f *fleet) close() {
+	for _, c := range f.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// retryableErr reports whether err is one of the front end's clean
+// backpressure signals — the errors a well-behaved client retries —
+// as opposed to a hard failure.
+func retryableErr(err error) bool {
+	return errors.Is(err, wire.ErrOverloaded) ||
+		errors.Is(err, wire.ErrShuttingDown) ||
+		errors.Is(err, wire.ErrDeadlineExceeded) ||
+		errors.Is(err, wire.ErrCallTimeout)
+}
+
+// FrontendResult aggregates one open-loop run.
+type FrontendResult struct {
+	Conns         int
+	Offered       float64 // requests/s the schedule tried to send
+	Sent          int64
+	OK            int64
+	Shed          int64 // retryable backpressure (overload/deadline/timeout)
+	Failed        int64 // non-retryable errors — zero on a healthy front end
+	FirstFailure  string
+	P50, P95, P99 time.Duration // over successful requests, from scheduled send time
+	Goodput       float64       // successful replies per second of wall clock
+}
+
+// openLoad offers rate requests/s across the fleet on a fixed schedule,
+// open-loop: a slow reply does not slow the arrival process, so queueing
+// delay shows up as latency (measured from the scheduled send instant)
+// instead of being hidden by a stalled load generator.
+func openLoad(f *fleet, source string, rate float64, d time.Duration) FrontendResult {
+	conns := len(f.sessions)
+	interval := time.Duration(float64(conns) / rate * float64(time.Second))
+	start := time.Now()
+	stop := start.Add(d)
+	var mu sync.Mutex
+	lats := make([]time.Duration, 0, int(rate*d.Seconds())+conns)
+	var sent, shed, failed int64
+	var firstFailure atomic.Value
+	var wg sync.WaitGroup
+	for i := range f.sessions {
+		wg.Add(1)
+		go func(i int, rs *wire.RemoteSession) {
+			defer wg.Done()
+			var reqWG sync.WaitGroup
+			defer reqWG.Wait()
+			// Stagger connection i by i/rate so the fleet's schedules
+			// interleave into a smooth arrival process.
+			next := start.Add(time.Duration(float64(i) / rate * float64(time.Second)))
+			for next.Before(stop) {
+				if wait := time.Until(next); wait > 0 {
+					time.Sleep(wait)
+				}
+				sched := next
+				atomic.AddInt64(&sent, 1)
+				reqWG.Add(1)
+				go func() {
+					defer reqWG.Done()
+					_, _, err := rs.Execute(source)
+					lat := time.Since(sched)
+					if err != nil {
+						if retryableErr(err) {
+							atomic.AddInt64(&shed, 1)
+						} else {
+							atomic.AddInt64(&failed, 1)
+							firstFailure.CompareAndSwap(nil, err.Error())
+						}
+						return
+					}
+					mu.Lock()
+					lats = append(lats, lat)
+					mu.Unlock()
+				}()
+				next = next.Add(interval)
+			}
+		}(i, f.sessions[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res := FrontendResult{
+		Conns:   conns,
+		Offered: rate,
+		Sent:    sent,
+		OK:      int64(len(lats)),
+		Shed:    shed,
+		Failed:  failed,
+		P50:     pctl(lats, 0.50),
+		P95:     pctl(lats, 0.95),
+		P99:     pctl(lats, 0.99),
+		Goodput: float64(len(lats)) / elapsed.Seconds(),
+	}
+	if msg, ok := firstFailure.Load().(string); ok {
+		res.FirstFailure = msg
+	}
+	return res
+}
+
+// pctl reads the p-quantile from an ascending-sorted latency slice.
+func pctl(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(lats)-1) + 0.5)
+	return lats[i]
+}
+
+// closedLoad measures sustainable capacity the classic way: workers
+// issuing back-to-back requests, each waiting for its reply. The rate it
+// settles at is the peak the open-loop runs are scaled against.
+func closedLoad(f *fleet, source string, workers int, d time.Duration) float64 {
+	if workers > len(f.sessions) {
+		workers = len(f.sessions)
+	}
+	var ok int64
+	stop := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(rs *wire.RemoteSession) {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				if _, _, err := rs.Execute(source); err == nil {
+					atomic.AddInt64(&ok, 1)
+				}
+			}
+		}(f.sessions[i])
+	}
+	wg.Wait()
+	return float64(ok) / d.Seconds()
+}
+
+// row flattens a result into ledger metrics.
+func (r FrontendResult) row() map[string]float64 {
+	shedRate := 0.0
+	if r.Sent > 0 {
+		shedRate = float64(r.Shed) / float64(r.Sent)
+	}
+	return map[string]float64{
+		"conns":             float64(r.Conns),
+		"offered_req_per_s": r.Offered,
+		"sent":              float64(r.Sent),
+		"ok":                float64(r.OK),
+		"shed":              float64(r.Shed),
+		"failed":            float64(r.Failed),
+		"shed_rate":         shedRate,
+		"goodput_req_per_s": r.Goodput,
+		"p50_ms":            float64(r.P50) / 1e6,
+		"p95_ms":            float64(r.P95) / 1e6,
+		"p99_ms":            float64(r.P99) / 1e6,
+	}
+}
+
+func (r FrontendResult) String() string {
+	return fmt.Sprintf("offered %6.0f/s  sent %5d  ok %5d  shed %5d  failed %d  goodput %6.0f/s  p50 %6.2fms  p95 %6.2fms  p99 %6.2fms",
+		r.Offered, r.Sent, r.OK, r.Shed, r.Failed, r.Goodput,
+		float64(r.P50)/1e6, float64(r.P95)/1e6, float64(r.P99)/1e6)
+}
+
+// Frontend is the `gsbench -openloop` workload: it brings up a server
+// with admission control, dials a fleet of conns connections, measures
+// closed-loop peak capacity, then offers open-loop load at 0.5x, 1x, and
+// 2x peak (or a single explicit rate) for d each, and returns the
+// "frontend" ledger section.
+func Frontend(w io.Writer, conns int, rate float64, d time.Duration) (map[string]map[string]float64, error) {
+	db, cleanup, err := tempDB(gemstone.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	srv, addr, err := serveFrontend(db, frontendConfig())
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	f, err := dialFleet(addr, conns)
+	if err != nil {
+		return nil, err
+	}
+	defer f.close()
+
+	peak := closedLoad(f, frontendSource, 8, 1500*time.Millisecond)
+	fmt.Fprintf(w, "closed-loop peak over %d conns (8 workers): %.0f req/s\n", conns, peak)
+
+	loads := map[string]float64{}
+	if rate > 0 {
+		loads["offered"] = rate
+	} else {
+		loads["load=0.5x"] = 0.5 * peak
+		loads["load=1.0x"] = peak
+		loads["load=2.0x"] = 2 * peak
+	}
+	section := map[string]map[string]float64{
+		"peak": {"closedloop_req_per_s": peak, "conns": float64(conns)},
+	}
+	for _, name := range sortedKeys(loads) {
+		res := openLoad(f, frontendSource, loads[name], d)
+		fmt.Fprintf(w, "%-10s %s\n", name, res)
+		if res.Failed > 0 {
+			fmt.Fprintf(w, "  first non-retryable failure: %s\n", res.FirstFailure)
+		}
+		section[name] = res.row()
+	}
+	return section, nil
+}
+
+// C12 is the overload experiment: at 2x the sustainable open-loop load
+// the server must stay up, shed the excess with clean retryable errors,
+// and keep goodput within 20% of peak; at 0.5x load tail latency stays
+// within the request budget. Then a graceful drain under a commit storm:
+// after Shutdown, the durable database must contain exactly the commits
+// that were acknowledged — no lost acks, no committed-but-unacknowledged
+// transactions — proven by reopening the store.
+func C12(w io.Writer) error {
+	fmt.Fprintln(w, "bounded admission under 2x overload, then graceful drain under a commit storm")
+	c := &checker{w: w}
+
+	// --- Part 1: overload behavior ---------------------------------------
+	db, cleanup, err := tempDB(gemstone.Options{})
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	srv, addr, err := serveFrontend(db, frontendConfig())
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	const conns = 128
+	f, err := dialFleet(addr, conns)
+	if err != nil {
+		return err
+	}
+	defer f.close()
+
+	peak := closedLoad(f, frontendSource, 8, 1500*time.Millisecond)
+	fmt.Fprintf(w, "  closed-loop peak over %d conns: %.0f req/s\n", conns, peak)
+	low := openLoad(f, frontendSource, 0.5*peak, 2*time.Second)
+	fmt.Fprintf(w, "  0.5x  %s\n", low)
+	over := openLoad(f, frontendSource, 2*peak, 2*time.Second)
+	fmt.Fprintf(w, "  2.0x  %s\n", over)
+
+	result, _, err := f.sessions[0].Execute("40 + 2")
+	c.check("server alive after 2x overload", err == nil && result == "42",
+		fmt.Sprintf("probe = %q, err = %v", result, err))
+	c.check("overload shed cleanly: zero non-retryable errors", over.Failed == 0,
+		fmt.Sprintf("failed=%d %s", over.Failed, over.FirstFailure))
+	c.check("goodput under 2x overload within 20% of peak", over.Goodput >= 0.8*peak,
+		fmt.Sprintf("%.0f/s vs peak %.0f/s", over.Goodput, peak))
+	c.check("0.5x load: sheds below 2% of offered", low.Failed == 0 && float64(low.Shed) <= 0.02*float64(low.Sent),
+		fmt.Sprintf("shed=%d failed=%d of %d", low.Shed, low.Failed, low.Sent))
+	c.check("0.5x load: p99 within the 500ms request budget", low.P99 > 0 && low.P99 <= 500*time.Millisecond,
+		fmt.Sprintf("p99 = %v", low.P99))
+
+	// --- Part 2: graceful drain under a commit storm ----------------------
+	fmt.Fprintln(w, "  drain under commit storm:")
+	dir, err := os.MkdirTemp("", "gsbench-c12-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	db2, err := gemstone.Open(dir, gemstone.Options{})
+	if err != nil {
+		return err
+	}
+	srv2, addr2, err := serveFrontend(db2, frontendConfig())
+	if err != nil {
+		db2.Close()
+		return err
+	}
+	const workers = 4
+	storm, err := dialFleet(addr2, workers)
+	if err != nil {
+		srv2.Close()
+		db2.Close()
+		return err
+	}
+	acked := make([]int, workers)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int, rs *wire.RemoteSession) {
+			defer wg.Done()
+			for seq := 1; ; seq++ {
+				src := fmt.Sprintf("World at: #storm%d put: %d", wk, seq)
+				for {
+					if _, _, err := rs.Execute(src); err != nil {
+						return
+					}
+					_, err := rs.Commit()
+					if err == nil {
+						acked[wk] = seq
+						break
+					}
+					// All workers write the shared World root, so commits
+					// conflict under first-committer-wins; the standard
+					// optimistic loop retries on a refreshed snapshot.
+					if !strings.Contains(err.Error(), "conflict") {
+						return
+					}
+				}
+			}
+		}(wk, storm.sessions[wk])
+	}
+	time.Sleep(300 * time.Millisecond)
+	shutErr := srv2.Shutdown(10 * time.Second)
+	wg.Wait()
+	storm.close()
+	db2.Close()
+
+	// Reopen and compare durable state against the acknowledgment log.
+	db3, err := gemstone.Open(dir, gemstone.Options{})
+	if err != nil {
+		return err
+	}
+	s, err := db3.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		db3.Close()
+		return err
+	}
+	total, mismatch := 0, ""
+	for wk := 0; wk < workers; wk++ {
+		got, err := s.Run(fmt.Sprintf("World at: #storm%d", wk))
+		if acked[wk] == 0 {
+			// Never acknowledged: the durable store must not contain it
+			// (a missing World key reads as nil, not an error).
+			if err == nil && got != "nil" {
+				mismatch = fmt.Sprintf("worker %d: acked nothing but durable value %q", wk, got)
+			}
+		} else if err != nil || got != strconv.Itoa(acked[wk]) {
+			mismatch = fmt.Sprintf("worker %d: acked %d but durable value %q (err %v)", wk, acked[wk], got, err)
+		}
+		total += acked[wk]
+		fmt.Fprintf(w, "    worker %d: last acked seq %d, durable %q\n", wk, acked[wk], got)
+	}
+	db3.Close()
+	c.check("drain completed within budget", shutErr == nil, fmt.Sprintf("%v", shutErr))
+	c.check("commit storm made progress before drain", total > 0,
+		fmt.Sprintf("%d acknowledged commits", total))
+	c.check("after restart, durable state equals acknowledged commits exactly", mismatch == "", mismatch)
+	return c.result("c12")
+}

@@ -53,7 +53,14 @@ type Interp struct {
 	nextTrans uint64
 	callDepth int
 	maxDepth  int
+	steps     uint64 // bytecodes executed; amortizes cancellation polling
 }
+
+// cancelEvery is how many bytecodes run between request-context polls:
+// often enough that a deadline interrupts a runaway loop within
+// microseconds, rarely enough that the check never shows in a profile.
+// Power of two so the modulus is a mask.
+const cancelEvery = 1024
 
 type primKey struct {
 	class    oop.OOP
@@ -179,6 +186,12 @@ func (in *Interp) exec(fr *frame, code []byte, lits []literal, isBlock bool) (oo
 		return v
 	}
 	for pc < len(code) {
+		in.steps++
+		if in.steps&(cancelEvery-1) == 0 {
+			if err := in.s.CancelErr(); err != nil {
+				return oop.Invalid, err
+			}
+		}
 		op := opCode(code[pc])
 		pc++
 		switch op {

@@ -17,6 +17,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -113,6 +114,7 @@ type metrics struct {
 	conflictsRead  *obs.Counter // read-write conflicts at validation
 	conflictsWrite *obs.Counter // write-write conflicts at validation
 	groupAborts    *obs.Counter // commits rolled back with a failed group
+	deadlineAborts *obs.Counter // commits abandoned pre-admission on an expired deadline
 	groups         *obs.Counter // durability groups flushed
 	fastpath       *obs.Counter // commits applied solo via the idle-pipeline fast path
 	groupSize      *obs.Histogram
@@ -131,6 +133,7 @@ func (m *Manager) Instrument(reg *obs.Registry) {
 		conflictsRead:  reg.Counter("txn.conflicts.read"),
 		conflictsWrite: reg.Counter("txn.conflicts.write"),
 		groupAborts:    reg.Counter("txn.group.aborts"),
+		deadlineAborts: reg.Counter("txn.deadline.aborts"),
 		groups:         reg.Counter("txn.groups"),
 		fastpath:       reg.Counter("txn.fastpath.commits"),
 		groupSize:      reg.Histogram("txn.group.size", obs.SizeBounds),
@@ -177,6 +180,24 @@ func (m *Manager) Begin() Txn {
 // is consumed. Read-only transactions (empty writes) validate but are not
 // assigned a time and do not wait for any group.
 func (m *Manager) Commit(t Txn, reads, writes map[oop.OOP]struct{}, payload any) (oop.Time, error) {
+	return m.CommitCtx(nil, t, reads, writes, payload)
+}
+
+// CommitCtx is Commit bounded by a request context, checked once before
+// admission: a commit whose deadline has already expired is aborted — the
+// transaction is retired, no transaction time is consumed, and the
+// cancellation error is returned wrapped. Past that point the deadline is
+// ignored: admission assigns a transaction time, and a timed-out waiter
+// abandoning a validated group member would leave a gap in the time
+// sequence or an un-acknowledged durable commit. A nil ctx never cancels.
+func (m *Manager) CommitCtx(ctx context.Context, t Txn, reads, writes map[oop.OOP]struct{}, payload any) (oop.Time, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			m.met.deadlineAborts.Inc()
+			m.Abort(t)
+			return 0, fmt.Errorf("txn: commit abandoned before admission: %w", err)
+		}
+	}
 	// Idle-pipeline fast path: when the flush token is free, nothing is
 	// gathering and no other transaction reads the published tip, this
 	// committer leads a group of one — skipping the pending handoff, the

@@ -125,6 +125,34 @@ func TestStatsRoundTrip(t *testing.T) {
 	if _, ok := snap.Histogram("executor.execute.ns"); !ok {
 		t.Error("executor.execute.ns histogram missing")
 	}
+	// The overload instruments are registered up front, so they appear in
+	// every snapshot even while zero: an operator watching the admission
+	// queue must see "0", not "absent".
+	for _, name := range []string{"wire.shed.overload", "wire.shed.shutdown", "wire.deadline.exceeded", "wire.drain.flushed"} {
+		found := false
+		for _, cv := range snap.Counters {
+			if cv.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("overload counter %s not registered", name)
+		}
+	}
+	found := false
+	for _, gv := range snap.Gauges {
+		if gv.Name == "wire.admission.depth" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("wire.admission.depth gauge not registered")
+	}
+	if hv, ok := snap.Histogram("wire.write.coalesced"); !ok || hv.Count == 0 {
+		t.Errorf("wire.write.coalesced histogram missing or empty (ok=%v)", ok)
+	}
 	// Stats is session-scoped: a connection without a live session is
 	// refused.
 	c2, err := Dial(addr)

@@ -3,6 +3,16 @@
 // communicating to user interface programs on host machines through a
 // network link", and "Communication with GemStone is done in blocks of OPAL
 // source code"). The protocol is length-delimited gob frames over TCP.
+//
+// Requests carry a client-chosen frame ID and are pipelined: a connection
+// may have up to Config.MaxInFlight frames outstanding, responses are
+// matched to requests by ID and may arrive out of order across sessions
+// (per-session order is preserved), and the server coalesces back-to-back
+// responses into one write. Overload is a first-class outcome: requests
+// past the admission queue's depth or wait budget are shed with
+// StatusOverloaded, requests past their deadline abort with
+// StatusDeadlineExceeded, and a draining server sheds queued work with
+// StatusShuttingDown — all retryable, all distinguishable from real errors.
 package wire
 
 import (
@@ -12,12 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"net"
-	"sort"
-	"sync"
 	"time"
 
-	"repro/internal/executor"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -36,18 +42,36 @@ const (
 	OpHealth
 )
 
+// Status classifies a failed response so clients can tell retryable
+// conditions (overload, drain, deadline) from real errors without parsing
+// message text. It is meaningful only when OK is false; the zero value is
+// a generic failure.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusError            Status = iota // generic failure (compile error, conflict, auth, ...)
+	StatusOverloaded                     // shed by admission control; retry after backoff
+	StatusShuttingDown                   // server draining; retry against another server or later
+	StatusDeadlineExceeded               // the request's deadline expired; transaction rolled back
+)
+
 // Request is one client → server frame.
 type Request struct {
-	Op       Op
-	User     string
-	Password string
-	Session  uint64
-	Source   string
+	ID         uint64 // client-chosen frame id; echoed in the Response
+	Op         Op
+	User       string
+	Password   string
+	Session    uint64
+	Source     string
+	DeadlineNS uint64 // execution budget in ns; 0 = server default
 }
 
 // Response is one server → client frame.
 type Response struct {
+	ID      uint64 // the Request.ID this answers
 	OK      bool
+	Status  Status // failure class; meaningful only when !OK
 	Error   string
 	Session uint64
 	Result  string
@@ -61,6 +85,57 @@ type Response struct {
 // connection does not own. Session IDs are bearer credentials: every
 // session-scoped op is checked against the connection that logged it in.
 var ErrNotAuthorized = errors.New("wire: session not owned by this connection")
+
+// ErrOverloaded reports a request shed by admission control: the global
+// queue was at depth, or the wait budget expired before a slot freed.
+// Retryable — back off and resend.
+var ErrOverloaded = errors.New("wire: server overloaded")
+
+// ErrShuttingDown reports a request shed because the server is draining.
+// Retryable against another server, or this one after it restarts.
+var ErrShuttingDown = errors.New("wire: server shutting down")
+
+// ErrDeadlineExceeded reports a request whose deadline expired before or
+// during execution. Any partial work was rolled back.
+var ErrDeadlineExceeded = errors.New("wire: request deadline exceeded")
+
+// ErrCallTimeout reports a client call that gave up waiting for the
+// server's response (see Client.SetCallTimeout). The request may still
+// execute on the server; only the wait was abandoned.
+var ErrCallTimeout = errors.New("wire: call timed out awaiting response")
+
+// statusError is a failed response as the client surfaces it: the server's
+// message verbatim, classified so errors.Is(err, ErrOverloaded) and
+// friends work without string matching.
+type statusError struct {
+	status Status
+	msg    string
+}
+
+func (e *statusError) Error() string { return e.msg }
+
+func (e *statusError) Is(target error) bool {
+	switch target {
+	case ErrOverloaded:
+		return e.status == StatusOverloaded
+	case ErrShuttingDown:
+		return e.status == StatusShuttingDown
+	case ErrDeadlineExceeded:
+		return e.status == StatusDeadlineExceeded
+	}
+	return false
+}
+
+// respErr converts a response into the error a client call returns.
+func respErr(resp Response) error {
+	if resp.OK {
+		return nil
+	}
+	if resp.Status != StatusError {
+		return &statusError{status: resp.Status, msg: resp.Error}
+	}
+	return errors.New(resp.Error)
+}
 
 const maxFrame = 16 << 20 // 16 MiB of OPAL source is enough for anyone
 
@@ -101,362 +176,49 @@ func readFrame(r io.Reader, v any) (int, error) {
 type Config struct {
 	// IdleTimeout, when positive, is the longest a connection may sit
 	// without sending a frame before the server drops it (logging its
-	// sessions out). Zero means no deadline — a dead client then pins a
-	// goroutine and its sessions until Close.
+	// sessions out). It also bounds each response-batch write, so a client
+	// that stops reading cannot pin the connection's writer. Zero means no
+	// deadline — a dead client then pins a goroutine and its sessions
+	// until Close.
 	IdleTimeout time.Duration
+
+	// MaxInFlight bounds the frames one connection may have outstanding
+	// (read but not yet response-flushed); the reader stops consuming
+	// frames past it, pushing backpressure into the client's TCP window.
+	// Zero means defaultMaxInFlight.
+	MaxInFlight int
+
+	// SessionQueue bounds each session's FIFO of waiting requests on a
+	// connection; requests past it are shed immediately with
+	// StatusOverloaded. Zero means MaxInFlight.
+	SessionQueue int
+
+	// MaxConcurrent bounds heavy operations (login, execute, commit)
+	// running at once across all connections. Zero disables global
+	// admission control unless QueueDepth is set, in which case it
+	// defaults to twice GOMAXPROCS.
+	MaxConcurrent int
+
+	// QueueDepth bounds how many heavy operations may wait for an
+	// execution slot before further arrivals are shed immediately with
+	// StatusOverloaded. Zero disables global admission control unless
+	// MaxConcurrent is set, in which case it defaults to 4×MaxConcurrent.
+	QueueDepth int
+
+	// QueueWait bounds how long an admitted-to-queue request waits for an
+	// execution slot before it is shed with StatusOverloaded. Zero means
+	// defaultQueueWait when admission control is on.
+	QueueWait time.Duration
+
+	// DefaultDeadline, when positive, bounds every request that does not
+	// carry its own DeadlineNS. Zero means no server-side deadline.
+	DefaultDeadline time.Duration
 }
 
-// Server accepts connections and dispatches requests to an Executor.
-type Server struct {
-	exec *executor.Executor
-	ln   net.Listener
-	cfg  Config
-	met  wireMetrics
+const (
+	defaultMaxInFlight = 8
+	defaultQueueWait   = 100 * time.Millisecond
+)
 
-	mu     sync.Mutex // guards closed, conns
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
-}
-
-// wireMetrics instruments the network link.
-type wireMetrics struct {
-	framesIn       *obs.Counter
-	framesOut      *obs.Counter
-	bytesIn        *obs.Counter
-	bytesOut       *obs.Counter
-	connsOpen      *obs.Gauge
-	connsTotal     *obs.Counter
-	authRejections *obs.Counter
-	idleDrops      *obs.Counter
-}
-
-// Serve starts a server on the listener with default configuration. It
-// returns immediately; Close stops it.
-func Serve(ln net.Listener, exec *executor.Executor) *Server {
-	return ServeConfig(ln, exec, Config{})
-}
-
-// ServeConfig starts a server with explicit configuration.
-func ServeConfig(ln net.Listener, exec *executor.Executor, cfg Config) *Server {
-	reg := exec.Obs()
-	s := &Server{
-		exec:  exec,
-		ln:    ln,
-		cfg:   cfg,
-		conns: make(map[net.Conn]struct{}),
-		met: wireMetrics{
-			framesIn:       reg.Counter("wire.frames.in"),
-			framesOut:      reg.Counter("wire.frames.out"),
-			bytesIn:        reg.Counter("wire.bytes.in"),
-			bytesOut:       reg.Counter("wire.bytes.out"),
-			connsOpen:      reg.Gauge("wire.conns.open"),
-			connsTotal:     reg.Counter("wire.conns.total"),
-			authRejections: reg.Counter("wire.auth.rejections"),
-			idleDrops:      reg.Counter("wire.conns.idle.drops"),
-		},
-	}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s
-}
-
-// Addr returns the listening address.
-func (s *Server) Addr() net.Addr { return s.ln.Addr() }
-
-// Close stops accepting and closes all connections.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	err := s.ln.Close()
-	//lint:ignore detmap closing live sockets; nothing here reaches a commit or stream
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
-	return err
-}
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go s.handle(conn)
-	}
-}
-
-func (s *Server) handle(conn net.Conn) {
-	defer s.wg.Done()
-	s.met.connsTotal.Inc()
-	s.met.connsOpen.Add(1)
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		conn.Close()
-		s.met.connsOpen.Add(-1)
-	}()
-	// Sessions opened on this connection, cleaned up on disconnect.
-	owned := map[executor.SessionID]struct{}{}
-	defer func() {
-		// Log sessions out in a fixed order so abandoned workspaces are
-		// discarded deterministically.
-		ids := make([]executor.SessionID, 0, len(owned))
-		for id := range owned {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			_ = s.exec.Logout(id)
-		}
-	}()
-	for {
-		if d := s.cfg.IdleTimeout; d > 0 {
-			//lint:ignore wallclock connection deadline only; never reaches committed state
-			_ = conn.SetReadDeadline(time.Now().Add(d))
-		}
-		var req Request
-		n, err := readFrame(conn, &req)
-		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				s.met.idleDrops.Inc()
-			}
-			return
-		}
-		s.met.framesIn.Inc()
-		s.met.bytesIn.Add(uint64(n))
-		resp := s.dispatch(&req, owned)
-		n, err = writeFrame(conn, resp)
-		if err != nil {
-			return
-		}
-		s.met.framesOut.Inc()
-		s.met.bytesOut.Add(uint64(n))
-	}
-}
-
-func (s *Server) dispatch(req *Request, owned map[executor.SessionID]struct{}) Response {
-	fail := func(err error) Response { return Response{Error: err.Error()} }
-	switch req.Op {
-	case OpLogin:
-		id, err := s.exec.Login(req.User, req.Password)
-		if err != nil {
-			return fail(err)
-		}
-		owned[id] = struct{}{}
-		return Response{OK: true, Session: uint64(id)}
-	}
-	// Every other op names a session: it must be one this connection logged
-	// in. Without this check any client holding a session ID — or guessing
-	// one — could execute, commit or log out another user's session.
-	if _, ok := owned[executor.SessionID(req.Session)]; !ok {
-		s.met.authRejections.Inc()
-		return fail(fmt.Errorf("%w: %d", ErrNotAuthorized, req.Session))
-	}
-	switch req.Op {
-	case OpExecute:
-		result, output, err := s.exec.Execute(executor.SessionID(req.Session), req.Source)
-		if err != nil {
-			return Response{Error: err.Error(), Output: output}
-		}
-		return Response{OK: true, Result: result, Output: output}
-	case OpCommit:
-		t, err := s.exec.Commit(executor.SessionID(req.Session))
-		if err != nil {
-			return fail(err)
-		}
-		return Response{OK: true, Time: uint64(t)}
-	case OpAbort:
-		if err := s.exec.Abort(executor.SessionID(req.Session)); err != nil {
-			return fail(err)
-		}
-		return Response{OK: true}
-	case OpLogout:
-		if err := s.exec.Logout(executor.SessionID(req.Session)); err != nil {
-			return fail(err)
-		}
-		delete(owned, executor.SessionID(req.Session))
-		return Response{OK: true}
-	case OpStats:
-		return Response{OK: true, Stats: s.exec.Obs().Snapshot()}
-	case OpHealth:
-		return Response{OK: true, Health: s.exec.Health()}
-	}
-	return fail(fmt.Errorf("wire: unknown op %d", req.Op))
-}
-
-// Client is a host-side connection to a GemStone server.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-}
-
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{conn: conn}, nil
-}
-
-// DialTimeout connects to a server, giving up after d.
-func DialTimeout(addr string, d time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, d)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{conn: conn}, nil
-}
-
-// DialRetry connects with bounded retry and exponential backoff: attempts
-// tries, each bounded by timeout, sleeping 50ms, 100ms, 200ms, ... (capped
-// at 2s) between them. A slow-starting server — common right after its
-// host boots — then delays clients instead of hard-failing them.
-func DialRetry(addr string, timeout time.Duration, attempts int) (*Client, error) {
-	if attempts < 1 {
-		attempts = 1
-	}
-	backoff := 50 * time.Millisecond
-	var lastErr error
-	for i := 0; i < attempts; i++ {
-		if i > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
-			if backoff > 2*time.Second {
-				backoff = 2 * time.Second
-			}
-		}
-		c, err := DialTimeout(addr, timeout)
-		if err == nil {
-			return c, nil
-		}
-		lastErr = err
-	}
-	return nil, fmt.Errorf("wire: dial %s failed after %d attempts: %w", addr, attempts, lastErr)
-}
-
-// Close disconnects (server-side sessions opened here are discarded).
-func (c *Client) Close() error { return c.conn.Close() }
-
-func (c *Client) roundTrip(req Request) (Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := writeFrame(c.conn, req); err != nil {
-		return Response{}, err
-	}
-	var resp Response
-	if _, err := readFrame(c.conn, &resp); err != nil {
-		return Response{}, err
-	}
-	return resp, nil
-}
-
-// RemoteSession is a session handle over the wire.
-type RemoteSession struct {
-	c  *Client
-	id uint64
-}
-
-// Login opens a remote session.
-func (c *Client) Login(user, password string) (*RemoteSession, error) {
-	resp, err := c.roundTrip(Request{Op: OpLogin, User: user, Password: password})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, errors.New(resp.Error)
-	}
-	return &RemoteSession{c: c, id: resp.Session}, nil
-}
-
-// Execute runs a block of OPAL source remotely.
-func (r *RemoteSession) Execute(source string) (result, output string, err error) {
-	resp, err := r.c.roundTrip(Request{Op: OpExecute, Session: r.id, Source: source})
-	if err != nil {
-		return "", "", err
-	}
-	if !resp.OK {
-		return "", resp.Output, errors.New(resp.Error)
-	}
-	return resp.Result, resp.Output, nil
-}
-
-// Commit commits the remote transaction, returning its transaction time.
-func (r *RemoteSession) Commit() (uint64, error) {
-	resp, err := r.c.roundTrip(Request{Op: OpCommit, Session: r.id})
-	if err != nil {
-		return 0, err
-	}
-	if !resp.OK {
-		return 0, errors.New(resp.Error)
-	}
-	return resp.Time, nil
-}
-
-// Abort discards the remote transaction's pending changes.
-func (r *RemoteSession) Abort() error {
-	resp, err := r.c.roundTrip(Request{Op: OpAbort, Session: r.id})
-	if err != nil {
-		return err
-	}
-	if !resp.OK {
-		return errors.New(resp.Error)
-	}
-	return nil
-}
-
-// Stats fetches a snapshot of the server's engine metrics. Stats is
-// session-scoped like every other op: the connection must own a live
-// session to introspect the server.
-func (r *RemoteSession) Stats() (*obs.Snapshot, error) {
-	resp, err := r.c.roundTrip(Request{Op: OpStats, Session: r.id})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, errors.New(resp.Error)
-	}
-	if resp.Stats == nil {
-		return &obs.Snapshot{}, nil
-	}
-	return resp.Stats, nil
-}
-
-// Health fetches the replica-arm health report. Session-scoped like
-// Stats: the connection must own a live session to introspect the server.
-func (r *RemoteSession) Health() ([]store.ArmHealth, error) {
-	resp, err := r.c.roundTrip(Request{Op: OpHealth, Session: r.id})
-	if err != nil {
-		return nil, err
-	}
-	if !resp.OK {
-		return nil, errors.New(resp.Error)
-	}
-	return resp.Health, nil
-}
-
-// Logout closes the remote session.
-func (r *RemoteSession) Logout() error {
-	resp, err := r.c.roundTrip(Request{Op: OpLogout, Session: r.id})
-	if err != nil {
-		return err
-	}
-	if !resp.OK {
-		return errors.New(resp.Error)
-	}
-	return nil
-}
+// admissionOn reports whether global admission control is configured.
+func (cfg Config) admissionOn() bool { return cfg.MaxConcurrent > 0 || cfg.QueueDepth > 0 }
