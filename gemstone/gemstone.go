@@ -104,6 +104,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, err
 	}
 	if _, err := opal.NewInterp(sys); err != nil {
+		sys.Close()
 		cdb.Close()
 		return nil, fmt.Errorf("gemstone: installing OPAL image: %w", err)
 	}
@@ -173,6 +174,9 @@ func (db *DB) Login(user, password string) (*Session, error) {
 	}
 	in, err := opal.NewInterp(s)
 	if err != nil {
+		// Left open, the half-built session would pin the validation log
+		// and camp on the published tip forever.
+		s.Close()
 		return nil, err
 	}
 	return &Session{s: s, in: in}, nil

@@ -279,3 +279,40 @@ func TestHistoryAPI(t *testing.T) {
 		t.Errorf("values = %s %s", p0, p1)
 	}
 }
+
+// TestNoSessionLeaks pins the session-lifecycle invariant the sessionlife
+// analyzer checks statically: no public entry point leaves a transaction
+// pinned in the Transaction Manager. A leaked session camps on the
+// published tip, pins the validation log, and forces every later commit
+// off the idle-pipeline fast path — the bug class fixed in Open's and
+// Login's interpreter-error branches.
+func TestNoSessionLeaks(t *testing.T) {
+	db := openDB(t)
+	active := func() int { return db.Core().TxnManager().ActiveCount() }
+	if n := active(); n != 0 {
+		t.Fatalf("Open left %d bootstrap transaction(s) active", n)
+	}
+	if err := db.CreateUser("carol", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if n := active(); n != 0 {
+		t.Fatalf("CreateUser left %d transaction(s) active", n)
+	}
+	if _, err := db.Login("carol", "wrong-password"); err == nil {
+		t.Fatal("expected failed login")
+	}
+	if n := active(); n != 0 {
+		t.Fatalf("failed Login left %d transaction(s) active", n)
+	}
+	s, err := db.Login("carol", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := active(); n != 1 {
+		t.Fatalf("one live session should pin exactly one transaction, got %d", n)
+	}
+	s.Close()
+	if n := active(); n != 0 {
+		t.Fatalf("Close left %d transaction(s) active", n)
+	}
+}

@@ -32,14 +32,28 @@
 //	              or health transition — never _ or a dead assignment
 //	globalstate — no package-level mutable state outside waivered
 //	              registries (the shard-readiness check)
+//	bufown      — pooled buffers (sync.Pool, takePage/putPage,
+//	              popTrack/recycleLocked, the algebra runScratch) follow
+//	              take → use → put exactly once on every exit path, with
+//	              no use-after-put and no escape into caller-visible state
+//	sessionlife — sessions reach Close on every path out of the creating
+//	              function and are never used after; forked readers are
+//	              absorbed or closed (the bootstrap-session-leak class)
+//	ctxflow     — a function receiving a context.Context threads that
+//	              context to its context-taking callees: no
+//	              context.Background()/TODO() below entry points, no nil
+//	              contexts, no silently dropped context parameter
 //
-// lockorder, aliasret, atomicfield, unlockpath, goroleak and errflow are
-// built on the whole-program layer (Program, BuildProgram): a call graph
-// over every loaded package plus per-function lock and alias summaries,
-// computed once per run and shared through Pass.Prog. unlockpath and
-// errflow additionally run path-sensitively over per-function
-// control-flow graphs (CFGOf) with the forward-dataflow fixpoint solver
-// (FlowSpec, Forward).
+// lockorder, aliasret, atomicfield, unlockpath, goroleak, errflow, bufown,
+// sessionlife and ctxflow are built on the whole-program layer (Program,
+// BuildProgram): a call graph over every loaded package plus per-function
+// lock and alias summaries, computed once per run and shared through
+// Pass.Prog. unlockpath and errflow additionally run path-sensitively over
+// per-function control-flow graphs (CFGOf) with the forward-dataflow
+// fixpoint solver (FlowSpec, Forward); bufown and sessionlife run the
+// typestate engine (typestate.go) — per-value finite state machines with
+// light alias tracking and interprocedural consume summaries — on the same
+// CFGs.
 //
 // Intentional exceptions are written in the source as
 //
@@ -286,6 +300,12 @@ func All() []*Analyzer {
 		// fixed those by hand; see claims2.go.
 		Errflow("repro/cmd/gemstone", "repro/internal/store", "repro/internal/txn", "repro/internal/core", "repro/internal/wire", "repro/internal/executor", "repro/internal/iofault", "repro/internal/analysis/testdata/seeded"),
 		Globalstate(),
+		// bufown is scoped to the packages that own pools (plus the seeded
+		// canaries); sessionlife and ctxflow run everywhere sessions and
+		// contexts flow.
+		Bufown("repro/internal/store", "repro/internal/algebra", "repro/internal/txn", "repro/internal/analysis/testdata/seeded"),
+		Sessionlife(),
+		Ctxflow(),
 	}
 }
 

@@ -1,0 +1,201 @@
+package analysis
+
+import "testing"
+
+// TestBufownLeakOnPath: a pooled value that misses its Put on an early
+// return leaks, and the finding names the exit.
+func TestBufownLeakOnPath(t *testing.T) {
+	got := checkFixture(t, "fixt/bufown", `package fx
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+func Leaky(fail bool) int {
+	buf := pool.Get().(*[]byte)
+	if fail {
+		return 0 // leak: buf never put back
+	}
+	pool.Put(buf)
+	return 1
+}
+`, Bufown())
+	wantFindings(t, got, "not returned to its pool on every path")
+}
+
+// TestBufownCleanShapes: deferred puts, puts on every branch, and put
+// wrappers (the consume summary) are all clean.
+func TestBufownCleanShapes(t *testing.T) {
+	got := checkFixture(t, "fixt/bufownclean", `package fx
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+func release(b *[]byte) {
+	pool.Put(b)
+}
+
+func Deferred() int {
+	buf := pool.Get().(*[]byte)
+	defer pool.Put(buf)
+	return len(*buf)
+}
+
+func Branches(fail bool) int {
+	buf := pool.Get().(*[]byte)
+	if fail {
+		pool.Put(buf)
+		return 0
+	}
+	pool.Put(buf)
+	return 1
+}
+
+func ViaWrapper() {
+	buf := pool.Get().(*[]byte)
+	release(buf)
+}
+
+func SelfDerived() {
+	buf := pool.Get().(*[]byte)
+	*buf = append(*buf, 1)
+	pool.Put(buf)
+}
+
+func LoopRebirth(n int) {
+	for i := 0; i < n; i++ {
+		buf := pool.Get().(*[]byte)
+		pool.Put(buf)
+	}
+}
+`, Bufown())
+	wantFindings(t, got)
+}
+
+// TestBufownUseAfterPut: reading a buffer after every path has returned it
+// to the pool is a race with the next Get.
+func TestBufownUseAfterPut(t *testing.T) {
+	got := checkFixture(t, "fixt/bufownuse", `package fx
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+func UseAfterPut() int {
+	buf := pool.Get().(*[]byte)
+	pool.Put(buf)
+	return len(*buf) // use after put
+}
+
+func DoublePut() {
+	buf := pool.Get().(*[]byte)
+	pool.Put(buf)
+	pool.Put(buf) // double put
+}
+`, Bufown())
+	wantFindings(t, got,
+		"after it was already returned to its pool",
+		"double-returned")
+}
+
+// TestBufownEscape: returning a pooled value or storing it through the
+// receiver is an escape; storing into a body-local structure is not.
+func TestBufownEscape(t *testing.T) {
+	got := checkFixture(t, "fixt/bufownesc", `package fx
+
+import "sync"
+
+type Cache struct {
+	pool sync.Pool
+	m    map[int]*[]byte
+}
+
+func (c *Cache) Escapes(k int) {
+	buf := c.pool.Get().(*[]byte)
+	c.m[k] = buf // pooled value escapes into the receiver's map
+}
+
+func (c *Cache) Returns() *[]byte {
+	buf := c.pool.Get().(*[]byte)
+	return buf // pooled value escapes to the caller
+}
+
+type wrap struct{ b *[]byte }
+
+func (c *Cache) ReturnsWrapped() *wrap {
+	buf := c.pool.Get().(*[]byte)
+	return &wrap{b: buf} // smuggled out inside a composite: same escape
+}
+
+func (c *Cache) Local() {
+	local := map[int]*[]byte{}
+	buf := c.pool.Get().(*[]byte)
+	local[0] = buf // body-local structure: silent
+	c.pool.Put(buf)
+}
+`, Bufown())
+	wantFindings(t, got,
+		"escapes the function through the store to c.m[...]",
+		"returned while still live",
+		"returned while still live")
+}
+
+// TestBufownWaiver: an intentional ownership transfer is waiverable at the
+// store site.
+func TestBufownWaiver(t *testing.T) {
+	got := checkFixture(t, "fixt/bufownwaiver", `package fx
+
+import "sync"
+
+type Cache struct {
+	pool sync.Pool
+	m    map[int]*[]byte
+}
+
+func (c *Cache) Insert(k int) {
+	buf := c.pool.Get().(*[]byte)
+	//lint:ignore bufown ownership transfers to the cache; recycled on eviction
+	c.m[k] = buf
+}
+`, Bufown())
+	wantFindings(t, got)
+}
+
+// TestBufownNamedPools: the repo's named pool accessors (takePage/putPage,
+// popTrack/recycleLocked) participate by name, and their own bodies are
+// exempt.
+func TestBufownNamedPools(t *testing.T) {
+	got := checkFixture(t, "fixt/bufownnamed", `package fx
+
+var free [][]byte
+
+func takePage() []byte {
+	if n := len(free); n > 0 {
+		p := free[n-1]
+		free = free[:n-1]
+		return p
+	}
+	return make([]byte, 4096)
+}
+
+func putPage(p []byte) {
+	free = append(free, p)
+}
+
+func Leaks(fail bool) {
+	p := takePage()
+	if fail {
+		return // leak
+	}
+	putPage(p)
+}
+
+func Clean() {
+	p := takePage()
+	defer putPage(p)
+	_ = p
+}
+`, Bufown())
+	wantFindings(t, got, "not returned to its pool on every path")
+}

@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Ctxflow protects the deadline-propagation chain from PR 9 (request
+// deadlines ride the frame and flow as contexts through executor → session
+// → interpreter) and any future cross-shard coordination path: a function
+// that receives a context.Context must thread *that* context to its
+// context-taking callees. Three failure shapes are findings, all scoped to
+// functions that have a named context parameter — entry points that mint
+// their own root context (main, servers, tests) are untouched:
+//
+//   - a call to context.Background() or context.TODO() anywhere below an
+//     entry point: a fresh root silently sheds the caller's deadline and
+//     cancellation;
+//   - a literal nil passed in a context-typed parameter position: same
+//     shedding, one step removed;
+//   - a dropped parameter: the function's context is never read while the
+//     body calls at least one context-taking callee — the chain is broken
+//     at this link.
+//
+// Conservatism rules:
+//
+//   - The checks are flow-insensitive over the body including nested
+//     function literals (a closure inherits its enclosing context
+//     lexically); literals that declare their *own* context parameter are
+//     pruned and checked as their own functions.
+//   - "Context-taking callee" is judged by the call's static signature, so
+//     dynamic and interface calls count; a function whose context flows
+//     only into storage (SetContext) still counts as read.
+//   - Deliberate detachment — a background janitor spawned from a
+//     request-scoped function — carries a //lint:ignore ctxflow waiver
+//     naming why the lifetimes must differ.
+func Ctxflow(paths ...string) *Analyzer {
+	return &Analyzer{
+		Name:  "ctxflow",
+		Doc:   "a function receiving a context threads that context to its context-taking callees",
+		Paths: paths,
+		Run:   runCtxflow,
+	}
+}
+
+func runCtxflow(pass *Pass) {
+	findings := pass.Prog.Once("ctxflow", func() any {
+		return computeCtxflow(pass.Prog, pass.Analyzer.Paths)
+	}).([]ctxFinding)
+	for _, f := range findings {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+type ctxFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// isCtxType recognizes context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxParamOf returns the declared context parameter of a function's type,
+// or nil.
+func ctxParamOf(info *types.Info, ft *ast.FuncType) *types.Var {
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj, ok := info.Defs[name].(*types.Var); ok && isCtxType(obj.Type()) {
+				if name.Name != "_" {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// funcTypeOf returns the syntactic type of a program function.
+func funcTypeOf(f *Func) *ast.FuncType {
+	switch {
+	case f.Decl != nil:
+		return f.Decl.Type
+	case f.Lit != nil:
+		return f.Lit.Type
+	}
+	return nil
+}
+
+// callSig returns the signature a call invokes, from the checked type of
+// its head — resolves for static, dynamic and interface calls alike.
+func callSig(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// sigTakesCtx reports whether any parameter of sig is context-typed.
+func sigTakesCtx(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isCtxType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func computeCtxflow(prog *Program, paths []string) []ctxFinding {
+	scope := &Analyzer{Paths: paths}
+	var out []ctxFinding
+	for _, f := range prog.Funcs {
+		if !scope.applies(f.Pkg.Path) {
+			continue
+		}
+		out = append(out, checkCtxflow(f)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].pos != out[j].pos {
+			return out[i].pos < out[j].pos
+		}
+		return out[i].msg < out[j].msg
+	})
+	return out
+}
+
+func checkCtxflow(f *Func) []ctxFinding {
+	info := f.Pkg.Info
+	ctxObj := ctxParamOf(info, funcTypeOf(f))
+	if ctxObj == nil {
+		return nil
+	}
+	var out []ctxFinding
+	used := false
+	callsCtxTaker := false
+
+	// Walk the body including nested literals (they inherit the context
+	// lexically), pruning literals that declare their own context
+	// parameter — those are their own links in the chain.
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if ctxParamOf(info, n.Type) != nil {
+				return false
+			}
+		case *ast.Ident:
+			if info.Uses[n] == ctxObj {
+				used = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFuncOf(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+				if name := fn.Name(); name == "Background" || name == "TODO" {
+					out = append(out, ctxFinding{
+						pos: n.Pos(),
+						msg: "context." + name + "() called in " + f.Name + ", which already receives " + ctxObj.Name() +
+							" — a fresh root context sheds the caller's deadline and cancellation; derive from " + ctxObj.Name() + " instead",
+					})
+				}
+			}
+			if sig := callSig(info, n); sig != nil {
+				if sigTakesCtx(sig) {
+					callsCtxTaker = true
+				}
+				for i, a := range n.Args {
+					pi := i
+					if sig.Variadic() && pi >= sig.Params().Len() {
+						pi = sig.Params().Len() - 1
+					}
+					if pi >= sig.Params().Len() {
+						continue
+					}
+					if !isCtxType(sig.Params().At(pi).Type()) {
+						continue
+					}
+					if id, ok := ast.Unparen(a).(*ast.Ident); ok && id.Name == "nil" && info.Uses[id] == types.Universe.Lookup("nil") {
+						out = append(out, ctxFinding{
+							pos: a.Pos(),
+							msg: "nil passed as the context to " + callName(n) + " in " + f.Name +
+								" — pass " + ctxObj.Name() + " so deadlines and cancellation propagate",
+						})
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(f.Body, visit)
+
+	// The dropped-parameter finding is subsumed when a fresh-root or nil
+	// finding already fired here: the fix for those (use ctx) fixes this.
+	if !used && callsCtxTaker && len(out) == 0 {
+		out = append(out, ctxFinding{
+			pos: ctxObj.Pos(),
+			msg: f.Name + " receives " + ctxObj.Name() + " but never reads it while calling context-taking callees — thread it through or drop the parameter",
+		})
+	}
+	return out
+}

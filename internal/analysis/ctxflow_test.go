@@ -1,0 +1,111 @@
+package analysis
+
+import "testing"
+
+// ctxFixture gives the fixtures a ctx-taking callee to thread into.
+const ctxFixture = `package fx
+
+import "context"
+
+func Run(ctx context.Context, src string) error { return ctx.Err() }
+`
+
+// TestCtxflowFreshRoot: minting a fresh root below an entry point sheds the
+// caller's deadline.
+func TestCtxflowFreshRoot(t *testing.T) {
+	got := checkFixture(t, "fixt/ctx", ctxFixture+`
+
+func Handler(ctx context.Context, src string) error {
+	return Run(context.Background(), src) // sheds ctx's deadline
+}
+
+func Retry(ctx context.Context, src string) error {
+	return Run(context.TODO(), src)
+}
+`, Ctxflow())
+	wantFindings(t, got,
+		"context.Background() called in fx.Handler",
+		"context.TODO() called in fx.Retry")
+}
+
+// TestCtxflowNilCtx: a literal nil in a context-typed parameter position.
+func TestCtxflowNilCtx(t *testing.T) {
+	got := checkFixture(t, "fixt/ctxnil", ctxFixture+`
+
+func Handler(ctx context.Context, src string) error {
+	return Run(nil, src)
+}
+`, Ctxflow())
+	wantFindings(t, got, "nil passed as the context to Run() in fx.Handler")
+}
+
+// TestCtxflowDropped: a ctx parameter never read while the body calls a
+// context-taking callee breaks the chain at this link.
+func TestCtxflowDropped(t *testing.T) {
+	got := checkFixture(t, "fixt/ctxdrop", ctxFixture+`
+
+var rootCtx = context.Background()
+
+func Handler(ctx context.Context, src string) error {
+	return Run(rootCtx, src) // threads a stale root, not the caller's ctx
+}
+`, Ctxflow())
+	wantFindings(t, got, "fx.Handler receives ctx but never reads it")
+}
+
+// TestCtxflowClean: threading ctx, deriving from it, closures inheriting it
+// lexically, entry points without a ctx param, and literals declaring their
+// own ctx are all clean.
+func TestCtxflowClean(t *testing.T) {
+	got := checkFixture(t, "fixt/ctxclean", `package fx
+
+import (
+	"context"
+	"time"
+)
+
+func Run(ctx context.Context, src string) error { return ctx.Err() }
+
+func Threads(ctx context.Context, src string) error {
+	return Run(ctx, src)
+}
+
+func Derives(ctx context.Context, src string) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return Run(tctx, src)
+}
+
+func ClosureInherits(ctx context.Context, src string) func() error {
+	return func() error { return Run(ctx, src) }
+}
+
+func OwnParam(ctx context.Context, src string) func(context.Context) error {
+	_ = ctx.Err()
+	return func(inner context.Context) error { return Run(inner, src) }
+}
+
+func EntryPoint(src string) error {
+	return Run(context.Background(), src) // no ctx param: a legitimate root
+}
+
+func NoCtxCallees(ctx context.Context, n int) int {
+	return n * 2 // ctx unused, but nothing to thread it into
+}
+`, Ctxflow())
+	wantFindings(t, got)
+}
+
+// TestCtxflowWaiver: a deliberately detached janitor is waiverable.
+func TestCtxflowWaiver(t *testing.T) {
+	got := checkFixture(t, "fixt/ctxwaiver", ctxFixture+`
+
+func Handler(ctx context.Context, src string) error {
+	//lint:ignore ctxflow the janitor outlives the request on purpose
+	jctx := context.Background()
+	go Run(jctx, "janitor")
+	return Run(ctx, src)
+}
+`, Ctxflow())
+	wantFindings(t, got)
+}

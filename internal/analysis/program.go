@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Program is gslint's whole-program layer: every loaded package, a
@@ -48,8 +49,17 @@ type Program struct {
 	named   []*types.Named          // program-defined named types
 	taken   map[string][]*Func      // sigKey -> address-taken functions
 	ifaceMu map[ifaceMethod][]*Func // interface dispatch cache
-	memo    map[string]any          // per-analyzer whole-program results
-	cfgs    map[*Func]*CFG          // lazily built control-flow graphs
+	memoMu  sync.Mutex
+	memo    map[string]*memoEntry // per-analyzer whole-program results
+	cfgMu   sync.Mutex
+	cfgs    map[*Func]*CFG // lazily built control-flow graphs
+}
+
+// memoEntry is one single-flight Once slot: the first caller computes while
+// later callers for the same key block on done.
+type memoEntry struct {
+	done chan struct{}
+	v    any
 }
 
 type ifaceMethod struct {
@@ -123,7 +133,7 @@ func BuildProgram(pkgs []*Package) *Program {
 		byPath:  make(map[string]*Package),
 		taken:   make(map[string][]*Func),
 		ifaceMu: make(map[ifaceMethod][]*Func),
-		memo:    make(map[string]any),
+		memo:    make(map[string]*memoEntry),
 	}
 	if len(pkgs) > 0 {
 		p.Fset = pkgs[0].Fset
@@ -160,14 +170,22 @@ func (p *Program) FuncOf(fn *types.Func) *Func {
 
 // Once computes a whole-program result at most once per run. Analyzers
 // that work globally use it so each per-package pass replays one shared
-// computation instead of re-deriving it.
+// computation instead of re-deriving it. Safe for concurrent passes: the
+// first caller for a key computes, later callers block until it finishes
+// (single-flight), so the parallel driver never duplicates a global phase.
 func (p *Program) Once(key string, compute func() any) any {
-	if v, ok := p.memo[key]; ok {
-		return v
+	p.memoMu.Lock()
+	if e, ok := p.memo[key]; ok {
+		p.memoMu.Unlock()
+		<-e.done
+		return e.v
 	}
-	v := compute()
-	p.memo[key] = v
-	return v
+	e := &memoEntry{done: make(chan struct{})}
+	p.memo[key] = e
+	p.memoMu.Unlock()
+	e.v = compute()
+	close(e.done)
+	return e.v
 }
 
 // collectFile creates Func nodes for a file's declarations, including

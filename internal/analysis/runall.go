@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// runall.go is the parallel driver: one gslint run fans the per-package
+// passes across workers while keeping the output byte-identical to a serial
+// run. The contract that makes this safe and deterministic:
+//
+//   - whole-program phases behind Prog.Once are single-flight (the first
+//     pass to ask computes, concurrent passes block on the same entry), so
+//     the global phase still runs exactly once;
+//   - CFGOf serializes graph construction under its own mutex;
+//   - everything else a pass touches (ASTs, types.Info, the resolved call
+//     graph) is read-only after BuildProgram;
+//   - findings are collected per package into a slice indexed by the
+//     package's load position and concatenated in that order, so worker
+//     scheduling cannot reorder output. Each package's own findings are
+//     already position-sorted by RunAnalyzers.
+
+// TimingRow is one analyzer's cumulative wall time across every package it
+// ran on. With workers > 1 the times overlap, so the column sums to more
+// than the run's wall clock — it ranks where the cycles go, it is not a
+// latency budget.
+type TimingRow struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// TimingTable accumulates per-analyzer wall time; safe for concurrent
+// passes.
+type TimingTable struct {
+	mu sync.Mutex
+	d  map[string]time.Duration
+}
+
+func NewTimingTable() *TimingTable {
+	return &TimingTable{d: make(map[string]time.Duration)}
+}
+
+func (t *TimingTable) add(name string, d time.Duration) {
+	t.mu.Lock()
+	t.d[name] += d
+	t.mu.Unlock()
+}
+
+// Rows returns the table sorted by descending elapsed time, ties by name.
+func (t *TimingTable) Rows() []TimingRow {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TimingRow, 0, len(t.d))
+	for name, d := range t.d {
+		out = append(out, TimingRow{Analyzer: name, Elapsed: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Elapsed != out[j].Elapsed {
+			return out[i].Elapsed > out[j].Elapsed
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// RunAll applies the analyzers to every package of prog using up to workers
+// concurrent passes and returns the surviving findings in package load
+// order. workers <= 1 degenerates to the serial loop; the output is
+// byte-identical either way. A non-nil timing table receives each
+// analyzer's cumulative wall time.
+func RunAll(analyzers []*Analyzer, prog *Program, pkgs []*Package, workers int, timing *TimingTable) []Finding {
+	if timing != nil {
+		analyzers = timedAnalyzers(analyzers, timing)
+	}
+	if workers <= 1 || len(pkgs) <= 1 {
+		var all []Finding
+		for _, pkg := range pkgs {
+			all = append(all, RunAnalyzers(analyzers, prog, pkg)...)
+		}
+		return all
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	perPkg := make([][]Finding, len(pkgs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				perPkg[i] = RunAnalyzers(analyzers, prog, pkgs[i])
+			}
+		}()
+	}
+	for i := range pkgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	var all []Finding
+	for _, fs := range perPkg {
+		all = append(all, fs...)
+	}
+	return all
+}
+
+// timedAnalyzers wraps each analyzer so its Run records elapsed wall time.
+// The wrappers keep Name/Doc/Paths, so scoping and suppression matching see
+// the analyzers unchanged.
+func timedAnalyzers(analyzers []*Analyzer, timing *TimingTable) []*Analyzer {
+	out := make([]*Analyzer, len(analyzers))
+	for i, a := range analyzers {
+		orig := a
+		wrapped := *a
+		wrapped.Run = func(pass *Pass) {
+			start := time.Now()
+			orig.Run(pass)
+			timing.add(orig.Name, time.Since(start))
+		}
+		out[i] = &wrapped
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestRunAllDeterministic: the parallel driver's output is byte-identical
+// to the serial loop, including the whole-program analyzers whose Once
+// phase races across packages. Several fixture packages with cross-package
+// findings force real fan-out.
+func TestRunAllDeterministic(t *testing.T) {
+	var fixtures []fixturePkg
+	for i := 0; i < 8; i++ {
+		fixtures = append(fixtures, fixturePkg{
+			path: fmt.Sprintf("fixt/det%d", i),
+			src: fmt.Sprintf(`package det%d
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+func Leaky(fail bool) int {
+	buf := pool.Get().(*[]byte)
+	if fail {
+		return 0 // leak
+	}
+	pool.Put(buf)
+	return 1
+}
+
+func UseAfter() int {
+	buf := pool.Get().(*[]byte)
+	pool.Put(buf)
+	return len(*buf)
+}
+`, i),
+		})
+	}
+
+	analyzers := []*Analyzer{Bufown(), Sessionlife(), Ctxflow()}
+	render := func(workers int) string {
+		pkgs := fixturePackages(t, fixtures)
+		prog := BuildProgram(pkgs)
+		var sb strings.Builder
+		for _, f := range RunAll(analyzers, prog, pkgs, workers, nil) {
+			fmt.Fprintf(&sb, "%d:%d %s %s\n", f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+		return sb.String()
+	}
+
+	serial := render(1)
+	if !strings.Contains(serial, "not returned to its pool") {
+		t.Fatalf("fixture produced no findings:\n%s", serial)
+	}
+	for trial := 0; trial < 4; trial++ {
+		if parallel := render(8); parallel != serial {
+			t.Fatalf("parallel output diverges from serial (trial %d):\n--- serial ---\n%s--- parallel ---\n%s", trial, serial, parallel)
+		}
+	}
+}
+
+// TestRunAllTiming: the timing table records every analyzer that ran.
+func TestRunAllTiming(t *testing.T) {
+	pkgs := fixturePackages(t, []fixturePkg{{path: "fixt/timing", src: `package timing
+
+func F() {}
+`}})
+	prog := BuildProgram(pkgs)
+	table := NewTimingTable()
+	RunAll([]*Analyzer{Bufown(), Ctxflow()}, prog, pkgs, 2, table)
+	rows := table.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("got %d timing rows, want 2: %v", len(rows), rows)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Analyzer] = true
+	}
+	if !seen["bufown"] || !seen["ctxflow"] {
+		t.Fatalf("timing rows missing analyzers: %v", rows)
+	}
+}

@@ -48,7 +48,11 @@ func TestSeededFixturesFire(t *testing.T) {
 	for _, pkg := range pkgs {
 		got = append(got, RunAnalyzers(All(), prog, pkg)...)
 	}
-	want := map[string]bool{"unlockpath": false, "goroleak": false, "errflow": false, "globalstate": false, "aliasret": false}
+	want := map[string]bool{
+		"unlockpath": false, "goroleak": false, "errflow": false,
+		"globalstate": false, "aliasret": false,
+		"bufown": false, "sessionlife": false, "ctxflow": false,
+	}
 	for _, f := range got {
 		if _, seeded := want[f.Analyzer]; !seeded {
 			t.Errorf("unexpected analyzer fired on the seeded fixtures: %s", f)

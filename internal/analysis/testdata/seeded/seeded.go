@@ -1,12 +1,15 @@
 // Package seeded holds deliberately buggy code — one specimen per gated
 // analyzer — for the linter's linter: TestSeededFixturesFire and the CI
 // canary step load this package explicitly and assert that unlockpath,
-// goroleak, errflow, globalstate and aliasret all fire. `./...` never
-// matches a testdata directory, so these bugs are invisible to normal
-// lint runs and builds.
+// goroleak, errflow, globalstate, aliasret, bufown, sessionlife and
+// ctxflow all fire. `./...` never matches a testdata directory, so these
+// bugs are invisible to normal lint runs and builds.
 package seeded
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // globalstate specimen: a package-level counter mutated at runtime —
 // shared by every shard the moment there are two.
@@ -71,4 +74,53 @@ func (p *pool) Grab() []byte {
 	buf := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]
 	return buf
+}
+
+// slab mimics the commit path's reusable scratch buffers.
+var slab = sync.Pool{New: func() any { return new([]byte) }}
+
+// bufown specimen: the early return skips the Put, so the scratch buffer
+// leaks out of the pool on every failure.
+func render(fail bool) int {
+	buf := slab.Get().(*[]byte)
+	if fail {
+		return 0
+	}
+	slab.Put(buf)
+	return len(*buf)
+}
+
+// Session mimics internal/core's session shape for the sessionlife
+// specimen.
+type Session struct{ open bool }
+
+func (s *Session) Close()                   { s.open = false }
+func (s *Session) Execute(src string) error { return nil }
+
+type registry struct{}
+
+func (registry) NewSession(user, password string) (*Session, error) {
+	return &Session{open: true}, nil
+}
+
+// sessionlife specimen: the Execute error path returns without closing the
+// session it just created — the bootstrap-session-leak class.
+func audit(r registry) error {
+	s, err := r.NewSession("audit", "x")
+	if err != nil {
+		return err
+	}
+	if err := s.Execute("scan"); err != nil {
+		return err
+	}
+	s.Close()
+	return nil
+}
+
+func fetch(ctx context.Context, src string) error { return ctx.Err() }
+
+// ctxflow specimen: a fresh root context below an entry point sheds the
+// caller's deadline and cancellation.
+func handle(ctx context.Context, src string) error {
+	return fetch(context.Background(), src)
 }

@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// typestate_test.go exercises the engine's join, fixpoint, defer and alias
+// behavior through the bufown protocol — the properties here are the
+// engine's, not the analyzer's.
+
+const tsPoolFixture = `package fx
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+`
+
+// TestTypestateJoinIsMay: a value consumed on only one of two inbound paths
+// is may-consumed, so reading it afterwards is not reported; the missing put
+// on the other path still is.
+func TestTypestateJoinIsMay(t *testing.T) {
+	got := checkFixture(t, "fixt/tsjoin", tsPoolFixture+`
+
+func MaybeConsumed(cond bool) int {
+	buf := pool.Get().(*[]byte)
+	if cond {
+		pool.Put(buf)
+	}
+	return len(*buf) // consumed on one path only: not a must-use-after
+}
+`, Bufown())
+	wantFindings(t, got, "not returned to its pool on every path")
+}
+
+// TestTypestateJoinMustConsumed: consumed on every inbound path, the read
+// after the join is a must-use-after.
+func TestTypestateJoinMustConsumed(t *testing.T) {
+	got := checkFixture(t, "fixt/tsmust", tsPoolFixture+`
+
+func BothPaths(cond bool) int {
+	buf := pool.Get().(*[]byte)
+	if cond {
+		pool.Put(buf)
+	} else {
+		pool.Put(buf)
+	}
+	return len(*buf) // consumed on every path: use-after
+}
+`, Bufown())
+	wantFindings(t, got, "after it was already returned to its pool")
+}
+
+// TestTypestateLoopFixpoint: state reached around a back edge converges, a
+// loop-carried consume is a may-fact (silent), and a use after a loop that
+// consumes unconditionally on its first iteration stays silent too — the
+// zero-iteration path keeps the value live into the join.
+func TestTypestateLoopFixpoint(t *testing.T) {
+	got := checkFixture(t, "fixt/tsloop", tsPoolFixture+`
+
+func LoopConsume(n int) int {
+	buf := pool.Get().(*[]byte)
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			pool.Put(buf)
+		}
+	}
+	return len(*buf) // may-consumed around the back edge: silent
+}
+`, Bufown())
+	wantFindings(t, got, "not returned to its pool on every path")
+}
+
+// TestTypestateDeferCoversLaterExits: a defer registered on a path covers
+// every later exit on that path — and only that path.
+func TestTypestateDeferCoversLaterExits(t *testing.T) {
+	got := checkFixture(t, "fixt/tsdefer", tsPoolFixture+`
+
+func PartialDefer(cond, fail bool) int {
+	buf := pool.Get().(*[]byte)
+	if cond {
+		defer pool.Put(buf)
+		if fail {
+			return 0 // covered by the defer above
+		}
+		return 1 // covered
+	}
+	return 2 // leak: no defer on this path
+}
+`, Bufown())
+	wantFindings(t, got, "not returned to its pool on every path")
+	if len(got) == 1 {
+		if !strings.Contains(got[0].Message, "fixture.go:17") {
+			t.Errorf("leak should name the uncovered exit fixture.go:17; got %q", got[0].Message)
+		}
+		if strings.Contains(got[0].Message, "fixture.go:13") || strings.Contains(got[0].Message, "fixture.go:15") {
+			t.Errorf("leak names a defer-covered exit: %q", got[0].Message)
+		}
+	}
+}
+
+// TestTypestateAliasTopIsSilent: address-taken and closure-captured values
+// are ⊤ — the engine stays silent even on an obvious leak, failing toward
+// silence rather than guessing through aliases it cannot follow.
+func TestTypestateAliasTopIsSilent(t *testing.T) {
+	got := checkFixture(t, "fixt/tstop", tsPoolFixture+`
+
+func use(p **[]byte) {}
+
+func AddrTaken(fail bool) {
+	buf := pool.Get().(*[]byte)
+	use(&buf) // address taken: ⊤ from here on
+	if fail {
+		return // a leak the engine deliberately does not see
+	}
+	pool.Put(buf)
+}
+
+func Captured(fail bool) {
+	buf := pool.Get().(*[]byte)
+	f := func() { pool.Put(buf) }
+	if fail {
+		return // consumed only through the closure: ⊤, silent
+	}
+	f()
+}
+`, Bufown())
+	wantFindings(t, got)
+}
+
+// TestTypestateAliasConsume: a consume through one alias consumes the cell
+// for every name bound to it.
+func TestTypestateAliasConsume(t *testing.T) {
+	got := checkFixture(t, "fixt/tsalias", tsPoolFixture+`
+
+func ViaAlias() {
+	buf := pool.Get().(*[]byte)
+	other := buf
+	pool.Put(other) // consumes the one cell both names share
+}
+
+func UseOtherName() int {
+	buf := pool.Get().(*[]byte)
+	other := buf
+	pool.Put(buf)
+	return len(*other) // same cell: use-after through the second name
+}
+`, Bufown())
+	wantFindings(t, got, "after it was already returned to its pool")
+}

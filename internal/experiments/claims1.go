@@ -245,6 +245,7 @@ func C3(w io.Writer) error {
 				if err != nil {
 					return
 				}
+				defer sess.Close()
 				vSym := sess.Symbol("v")
 				for a := 0; a < attempts; a++ {
 					var target oop.OOP

@@ -675,6 +675,7 @@ func (s *Store) Apply(c Commit) error {
 		}
 		dirtyAt[idx] = len(dirtyPages)
 		dirtyPages = append(dirtyPages, cowPage{idx: idx, page: page})
+		//lint:ignore bufown ownership transfers to Apply: the deferred cleanup recycles the page on failure and the page cache takes it on commit
 		return page, nil
 	}
 	// Ascending serial order keeps page materialization deterministic for

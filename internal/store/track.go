@@ -579,6 +579,7 @@ func (tm *TrackManager) cacheInsertLocked(n uint32, p []byte) {
 	b, reused := popTrack(&tm.free, len(p), tm.trackSize)
 	tm.countPop(reused)
 	copy(b, p)
+	//lint:ignore bufown ownership transfers to the cache: pool and cache never alias, and replaced or evicted entries are recycled
 	tm.cache[n] = b
 }
 

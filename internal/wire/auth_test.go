@@ -153,6 +153,11 @@ func TestStatsRoundTrip(t *testing.T) {
 	if hv, ok := snap.Histogram("wire.write.coalesced"); !ok || hv.Count == 0 {
 		t.Errorf("wire.write.coalesced histogram missing or empty (ok=%v)", ok)
 	}
+	// Every dispatched request records its queue wait, so the histogram is
+	// both registered and populated after the sequence above.
+	if hv, ok := snap.Histogram("wire.queue.wait"); !ok || hv.Count == 0 {
+		t.Errorf("wire.queue.wait histogram missing or empty (ok=%v)", ok)
+	}
 	// Stats is session-scoped: a connection without a live session is
 	// refused.
 	c2, err := Dial(addr)

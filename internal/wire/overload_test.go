@@ -397,3 +397,51 @@ func TestDrainCommitStormLosesNoAcks(t *testing.T) {
 		t.Fatal("storm made no progress before the drain; test proves nothing")
 	}
 }
+
+// TestQueuedPastDeadlineShedsWithoutRunning proves the deadline budget is
+// anchored at frame arrival, not at dispatch: a request that spends its
+// whole budget queued behind its session's earlier request is shed before
+// it ever touches the session — its side effect must not happen — and the
+// wait it accrued lands in the wire.queue.wait histogram.
+func TestQueuedPastDeadlineShedsWithoutRunning(t *testing.T) {
+	_, exec, addr := startServerConfig(t, Config{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rs, err := c.Login(gemstone.SystemUser, "swordfish")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the session's lane for ~400ms (the deadline, not the loop,
+	// bounds the spin).
+	slowDone := make(chan error, 1)
+	go func() {
+		_, _, err := rs.ExecuteDeadline(spinSource, 400*time.Millisecond)
+		slowDone <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // the slow block holds the lane now
+	// Queued behind it with a 50ms budget: the lane frees after ~300ms
+	// more, so the budget expires entirely in the queue. Under
+	// dispatch-anchored deadlines this write would run to completion.
+	_, _, err = rs.ExecuteDeadline("World at: #shedmark put: 7. 'ran'", 50*time.Millisecond)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("queued ExecuteDeadline = %v, want ErrDeadlineExceeded", err)
+	}
+	if err := <-slowDone; !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("slow block = %v, want ErrDeadlineExceeded", err)
+	}
+	// The shed request never reached the session: its write is absent even
+	// from the uncommitted workspace.
+	if result, _, err := rs.Execute("World!shedmark"); err == nil && result == "7" {
+		t.Fatal("write from queue-shed request reached the session")
+	}
+	snap := exec.Obs().Snapshot()
+	if n := snap.Counter("wire.deadline.exceeded"); n < 2 {
+		t.Errorf("wire.deadline.exceeded = %d, want >= 2", n)
+	}
+	if hv, ok := snap.Histogram("wire.queue.wait"); !ok || hv.Count == 0 {
+		t.Errorf("wire.queue.wait histogram missing or empty (ok=%v)", ok)
+	}
+}

@@ -61,6 +61,7 @@ type wireMetrics struct {
 	deadlineExceeded *obs.Counter   // requests failed with StatusDeadlineExceeded
 	drainFlushed     *obs.Counter   // responses flushed while draining
 	coalesced        *obs.Histogram // responses per coalesced write
+	queueWait        *obs.Histogram // ns from frame arrival to lane dispatch
 }
 
 // Serve starts a server on the listener with default configuration. It
@@ -93,6 +94,7 @@ func ServeConfig(ln net.Listener, exec *executor.Executor, cfg Config) *Server {
 			deadlineExceeded: reg.Counter("wire.deadline.exceeded"),
 			drainFlushed:     reg.Counter("wire.drain.flushed"),
 			coalesced:        reg.Histogram("wire.write.coalesced", obs.SizeBounds),
+			queueWait:        reg.Histogram("wire.queue.wait", obs.LatencyBounds),
 		},
 	}
 	s.maxInFlight = cfg.MaxInFlight
@@ -387,6 +389,8 @@ func (c *serverConn) readLoop() {
 		}
 		s.met.framesIn.Inc()
 		s.met.bytesIn.Add(uint64(n))
+		//lint:ignore wallclock deadline anchor and queue-wait accounting only; never reaches committed state
+		req.arrival = time.Now()
 		c.tokens <- struct{}{}
 		s.inflight.add(1)
 		c.route(req)
@@ -437,12 +441,22 @@ func (c *serverConn) finish(resp Response) {
 	c.writeCh <- resp
 }
 
-// run executes one request: drain check, deadline setup, dispatch.
+// run executes one request: drain check, deadline setup, dispatch. The
+// deadline budget is anchored at frame arrival (stamped by the read loop),
+// so time spent queued in the session lane counts against it; a request
+// whose budget expired while it waited is shed here without touching the
+// session.
 func (c *serverConn) run(req *Request) Response {
 	s := c.srv
 	if s.draining.Load() {
 		s.met.shedShutdown.Inc()
 		return Response{ID: req.ID, Status: StatusShuttingDown, Error: ErrShuttingDown.Error()}
+	}
+	var wait time.Duration
+	if !req.arrival.IsZero() {
+		//lint:ignore wallclock queue-wait accounting and deadline anchoring only; never reaches committed state
+		wait = time.Since(req.arrival)
+		s.met.queueWait.Observe(uint64(wait))
 	}
 	var ctx context.Context
 	budget := s.cfg.DefaultDeadline
@@ -450,9 +464,19 @@ func (c *serverConn) run(req *Request) Response {
 		budget = time.Duration(req.DeadlineNS)
 	}
 	if budget > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(context.Background(), budget)
-		defer cancel()
+		if !req.arrival.IsZero() {
+			if wait >= budget {
+				s.met.deadlineExceeded.Inc()
+				return Response{ID: req.ID, Status: StatusDeadlineExceeded, Error: ErrDeadlineExceeded.Error()}
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(context.Background(), req.arrival.Add(budget))
+			defer cancel()
+		} else {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(context.Background(), budget)
+			defer cancel()
+		}
 	}
 	resp := c.dispatch(ctx, req)
 	resp.ID = req.ID

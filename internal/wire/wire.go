@@ -65,6 +65,12 @@ type Request struct {
 	Session    uint64
 	Source     string
 	DeadlineNS uint64 // execution budget in ns; 0 = server default
+
+	// arrival is stamped by the server's read loop the moment the frame is
+	// decoded. The deadline budget is anchored here, so time a request
+	// spends queued behind its session's earlier requests counts against
+	// it. Never serialized.
+	arrival time.Time
 }
 
 // Response is one server → client frame.
